@@ -1,0 +1,160 @@
+// Command ioguard-experiments regenerates the tables and figures of
+// the paper's evaluation (Sec. V). Each experiment prints the same
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	ioguard-experiments -exp fig6
+//	ioguard-experiments -exp table1
+//	ioguard-experiments -exp fig7a [-trials N] [-hyperperiods N]
+//	ioguard-experiments -exp fig7b [-trials N]
+//	ioguard-experiments -exp fig7c [-trials N]
+//	ioguard-experiments -exp fig8 [-maxeta N]
+//	ioguard-experiments -exp ablation [-util U]
+//	ioguard-experiments -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ioguard/internal/experiments"
+	"ioguard/internal/footprint"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig6|table1|fig7a|fig7b|fig7c|fig8|ablation|preload|response|all")
+		trials  = flag.Int("trials", 5, "trials per case-study point (paper: 1000)")
+		hps     = flag.Int("hyperperiods", 3, "horizon in workload hyper-periods (paper: 100 s runs)")
+		maxEta  = flag.Int("maxeta", 4, "maximum scaling factor η for fig8")
+		utilArg = flag.Float64("util", 0.8, "target utilization for the ablation")
+		seed    = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, trials, hps, maxEta int, util float64, seed int64) error {
+	switch exp {
+	case "fig6":
+		return fig6()
+	case "table1":
+		return table1()
+	case "fig7a":
+		return fig7(4, trials, hps, seed)
+	case "fig7b":
+		return fig7(8, trials, hps, seed)
+	case "fig7c":
+		// Fig. 7(c) shares the sweep; print both VM groups' throughput.
+		if err := fig7(4, trials, hps, seed); err != nil {
+			return err
+		}
+		return fig7(8, trials, hps, seed)
+	case "fig8":
+		return fig8(maxEta)
+	case "ablation":
+		return ablation(util, trials, seed)
+	case "preload":
+		return preload(util, trials, seed)
+	case "response":
+		return response(util, seed)
+	case "all":
+		if err := fig6(); err != nil {
+			return err
+		}
+		if err := table1(); err != nil {
+			return err
+		}
+		if err := fig7(4, trials, hps, seed); err != nil {
+			return err
+		}
+		if err := fig7(8, trials, hps, seed); err != nil {
+			return err
+		}
+		return fig8(maxEta)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func fig6() error {
+	out, err := footprint.Render()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 6 — run-time software overhead (KB)")
+	fmt.Print(out)
+	fmt.Println()
+	return nil
+}
+
+func table1() error {
+	out, err := experiments.RenderTable1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	fmt.Println()
+	return nil
+}
+
+func fig7(vms, trials, hps int, seed int64) error {
+	points, err := experiments.CaseStudy(experiments.CaseStudyConfig{
+		VMs:          vms,
+		Trials:       trials,
+		HyperPeriods: hps,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderCaseStudy(points, vms))
+	fmt.Println()
+	return nil
+}
+
+func fig8(maxEta int) error {
+	points, err := experiments.Fig8(maxEta)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFig8(points))
+	fmt.Println()
+	return nil
+}
+
+func preload(util float64, trials int, seed int64) error {
+	points, err := experiments.PreloadSweep(8, util, nil, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderPreloadSweep(points, 8, util))
+	return nil
+}
+
+func response(util float64, seed int64) error {
+	profiles, err := experiments.ResponseProfile(8, util, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Response-time distributions at U=%.2f, 8 VMs\n\n", util)
+	fmt.Print(experiments.RenderResponseProfile(profiles))
+	return nil
+}
+
+func ablation(util float64, trials int, seed int64) error {
+	points, err := experiments.SchedulerAblation(8, util, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("R-channel scheduler ablation at U=%.2f, 8 VMs\n", util)
+	for _, p := range points {
+		fmt.Printf("%-24s %s\n", p.Config, p.Agg)
+	}
+	return nil
+}

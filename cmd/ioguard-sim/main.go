@@ -1,0 +1,160 @@
+// Command ioguard-sim runs one slot-accurate simulation of a chosen
+// architecture on the automotive case-study workload and prints the
+// trial metrics (and optionally a Gantt excerpt of the I/O-GUARD
+// hypervisor's schedule).
+//
+// Usage:
+//
+//	ioguard-sim -system ioguard-70 -vms 8 -util 0.85 -hyperperiods 4
+//	ioguard-sim -system rtxen -vms 4 -util 0.6
+//	ioguard-sim -system ioguard-40 -gantt 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ioguard/internal/baseline"
+	"ioguard/internal/core"
+	"ioguard/internal/hypervisor"
+	"ioguard/internal/slot"
+	"ioguard/internal/system"
+	"ioguard/internal/trace"
+	"ioguard/internal/workload"
+)
+
+func main() {
+	var (
+		sysName = flag.String("system", "ioguard-70", "legacy|rtxen|bluevisor|ioguard-<pct>")
+		vms     = flag.Int("vms", 4, "number of virtual machines")
+		util    = flag.Float64("util", 0.7, "target device utilization")
+		hps     = flag.Int("hyperperiods", 3, "horizon in workload hyper-periods")
+		seed    = flag.Int64("seed", 1, "random seed")
+		gantt   = flag.Int("gantt", 0, "print a Gantt chart of the first N slots (I/O-GUARD only)")
+		csvPath = flag.String("csv", "", "write the execution trace as CSV (I/O-GUARD only)")
+		byTask  = flag.Bool("bytask", false, "print per-task completion/miss statistics")
+	)
+	flag.Parse()
+	if err := run(*sysName, *vms, *util, *hps, *seed, *gantt, *csvPath, *byTask); err != nil {
+		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sysName string, vms int, util float64, hps int, seed int64, gantt int, csvPath string, byTask bool) error {
+	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d tasks, per-device utilization %v, hyper-period %d slots\n",
+		len(ts), formatUtil(workload.DeviceUtilization(ts)), ts.Hyperperiod())
+
+	rec := &trace.Recorder{}
+	build, err := builderFor(sysName, rec, gantt > 0 || csvPath != "")
+	if err != nil {
+		return err
+	}
+	var captured *system.Collector
+	wrapped := func(tr system.Trial, col *system.Collector) (system.System, error) {
+		captured = col
+		return build(tr, col)
+	}
+	res, err := system.Run(wrapped, system.Trial{
+		VMs:     vms,
+		Tasks:   ts,
+		Horizon: ts.Hyperperiod() * slot.Time(hps),
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system: %s\n", sysName)
+	fmt.Printf("  completed:        %d jobs (%d bytes)\n", res.Completed, res.BytesServed)
+	fmt.Printf("  critical misses:  %d\n", res.CriticalMisses)
+	fmt.Printf("  synthetic misses: %d\n", res.OtherMisses)
+	fmt.Printf("  unfinished:       %d   dropped: %d\n", res.Unfinished, res.Dropped)
+	fmt.Printf("  success:          %v\n", res.Success())
+	fmt.Printf("  throughput:       %.3f MB/s\n", res.ThroughputMBps())
+	fmt.Printf("  response (slots): %s\n", res.Response.String())
+	if gantt > 0 {
+		if rec.Len() == 0 {
+			fmt.Println("(no trace recorded: -gantt is only wired for ioguard-* systems)")
+		} else {
+			fmt.Println()
+			fmt.Print(rec.Gantt(0, slot.Time(gantt)))
+		}
+	}
+	if byTask && captured != nil {
+		fmt.Println()
+		fmt.Print(system.RenderByTask(captured.ByTask()))
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), csvPath)
+	}
+	return nil
+}
+
+func formatUtil(m map[string]float64) string {
+	parts := make([]string, 0, len(m))
+	for _, dev := range []string{"ethernet", "flexray"} {
+		if u, ok := m[dev]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%.2f", dev, u))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func builderFor(name string, rec *trace.Recorder, wantTrace bool) (system.Builder, error) {
+	switch {
+	case name == "legacy":
+		return func(tr system.Trial, col *system.Collector) (system.System, error) {
+			return baseline.NewLegacy(tr.VMs, tr.Tasks, col)
+		}, nil
+	case name == "rtxen":
+		return func(tr system.Trial, col *system.Collector) (system.System, error) {
+			return baseline.NewRTXen(tr.VMs, tr.Tasks, col, 0)
+		}, nil
+	case name == "bluevisor":
+		return func(tr system.Trial, col *system.Collector) (system.System, error) {
+			return baseline.NewBlueVisor(tr.VMs, tr.Tasks, col)
+		}, nil
+	case strings.HasPrefix(name, "ioguard-"):
+		var pct int
+		if _, err := fmt.Sscanf(name, "ioguard-%d", &pct); err != nil || pct < 0 || pct > 100 {
+			return nil, fmt.Errorf("bad I/O-GUARD spec %q (want ioguard-<0..100>)", name)
+		}
+		frac := float64(pct) / 100
+		return func(tr system.Trial, col *system.Collector) (system.System, error) {
+			s, err := core.New(core.Config{
+				VMs:         tr.VMs,
+				PreloadFrac: frac,
+				Mode:        hypervisor.DirectEDF,
+			}, tr.Tasks, col)
+			if err != nil {
+				return nil, err
+			}
+			if wantTrace {
+				for _, dev := range s.Hypervisor().Devices() {
+					mgr, err := s.Hypervisor().Manager(dev)
+					if err != nil {
+						return nil, err
+					}
+					mgr.OnExecute = rec.OnExecute
+				}
+			}
+			return s, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown system %q", name)
+	}
+}

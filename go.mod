@@ -1,0 +1,3 @@
+module ioguard
+
+go 1.22

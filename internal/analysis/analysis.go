@@ -1,0 +1,481 @@
+// Package analysis implements the schedulability analysis of the
+// I/O-GUARD two-layer scheduler (Sec. IV of Jiang et al., DAC'21):
+//
+//   - the supply bound function sbf(σ,t) of the repeating Time Slot
+//     Table σ* (Eq. 1 and 2),
+//   - the demand bound function dbf(Γi,t) of the per-VM periodic
+//     server tasks (Eq. 3) and the G-Sched test of Theorem 1 with the
+//     pseudo-polynomial horizon of Theorem 2,
+//   - the periodic-resource supply bound sbf(Γi,t) (Eq. 8), the
+//     sporadic demand bound dbf(τk,t) (Eq. 9) and the L-Sched test of
+//     Theorem 3 with the pseudo-polynomial horizon of Theorem 4,
+//   - exact (hyper-period exhaustive) variants used to cross-validate
+//     the theorems, and a server-synthesis helper that dimensions
+//     Γi = (Πi, Θi) for a given workload.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+// SupplyBound is the precomputed sbf(σ,·) of a Time Slot Table: the
+// minimum number of free slots available to R-channel jobs in any
+// window of a given length (Eq. 1 stores the H in-period values in a
+// look-up table; Eq. 2 extends them periodically).
+type SupplyBound struct {
+	prefix []slot.Time // prefix[i] = free slots in σ*[0,i)
+	memo   []slot.Time // memo[t] = sbf(σ,t), lazily filled; Never = unset
+	h      slot.Time   // H: table length
+	f      slot.Time   // F: free slots per period
+}
+
+// NewSupplyBound prepares the sbf(σ,·) look-up table for tab. The
+// per-length minima (Eq. 1 enumerates a sliding window across one
+// period — σ repeats σ*, so H window positions cover all cases) are
+// computed lazily and memoized: each distinct in-period length costs
+// O(H) once, so querying k lengths costs O(H·k) instead of the O(H²)
+// full enumeration.
+func NewSupplyBound(tab *slot.Table) *SupplyBound {
+	h := tab.Len()
+	sb := &SupplyBound{h: slot.Time(h), f: slot.Time(tab.FreeCount())}
+	if h == 0 {
+		return sb
+	}
+	sb.prefix = make([]slot.Time, h+1)
+	for i := 0; i < h; i++ {
+		sb.prefix[i+1] = sb.prefix[i]
+		if tab.IsFree(slot.Time(i)) {
+			sb.prefix[i+1]++
+		}
+	}
+	sb.memo = make([]slot.Time, h)
+	for i := range sb.memo {
+		sb.memo[i] = slot.Never
+	}
+	sb.memo[0] = 0
+	return sb
+}
+
+// enumAt returns sbf(σ,t) for 0 ≤ t < H, computing and memoizing the
+// sliding-window minimum on first use.
+func (s *SupplyBound) enumAt(t slot.Time) slot.Time {
+	if s.memo[t] != slot.Never {
+		return s.memo[t]
+	}
+	h := int(s.h)
+	l := int(t)
+	min := slot.Never
+	for start := 0; start < h; start++ {
+		var v slot.Time
+		if start+l <= h {
+			v = s.prefix[start+l] - s.prefix[start]
+		} else {
+			v = (s.prefix[h] - s.prefix[start]) + s.prefix[start+l-h]
+		}
+		if v < min {
+			min = v
+		}
+	}
+	s.memo[t] = min
+	return min
+}
+
+// H returns the table length (slots per period).
+func (s *SupplyBound) H() slot.Time { return s.h }
+
+// F returns the free slots per period.
+func (s *SupplyBound) F() slot.Time { return s.f }
+
+// At evaluates sbf(σ,t) for any t ≥ 0 using Eq. 1 for t < H and the
+// periodic extension of Eq. 2 for t ≥ H. Negative t yields 0.
+func (s *SupplyBound) At(t slot.Time) slot.Time {
+	if t <= 0 || s.h == 0 {
+		return 0
+	}
+	if t < s.h {
+		return s.enumAt(t)
+	}
+	return s.enumAt(t%s.h) + (t/s.h)*s.f
+}
+
+// ServerDBF is dbf(Γi,t) of Eq. 3: the maximum demand a periodic
+// implicit-deadline server task can place in any window of length t.
+func ServerDBF(g task.Server, t slot.Time) slot.Time {
+	if t < 0 || g.Period <= 0 {
+		return 0
+	}
+	return (t / g.Period) * g.Budget
+}
+
+// ServerSBF is sbf(Γi,t) of Eq. 8: the minimum supply VM i receives
+// from its periodic server in any window of length t (periodic
+// resource model).
+func ServerSBF(g task.Server, t slot.Time) slot.Time {
+	tp := t - (g.Period - g.Budget)
+	if tp < 0 {
+		return 0
+	}
+	k := tp / g.Period
+	theta := tp - g.Period*k - (g.Period - g.Budget)
+	if theta < 0 {
+		theta = 0
+	}
+	return k*g.Budget + theta
+}
+
+// TaskDBF is dbf(τk,t) of Eq. 9: the maximum demand a sporadic task
+// with constrained deadline can place in any window of length t.
+func TaskDBF(tk task.Sporadic, t slot.Time) slot.Time {
+	if t < tk.Deadline || tk.Period <= 0 {
+		return 0
+	}
+	return ((t-tk.Deadline)/tk.Period + 1) * tk.WCET
+}
+
+// SetDBF sums Eq. 9 over a task set.
+func SetDBF(ts task.Set, t slot.Time) slot.Time {
+	var d slot.Time
+	for _, tk := range ts {
+		d += TaskDBF(tk, t)
+	}
+	return d
+}
+
+// Result reports the outcome of one schedulability test.
+type Result struct {
+	Schedulable bool
+	// FailsAt is the first window length at which demand exceeded
+	// supply; it is meaningful only when Schedulable is false.
+	FailsAt slot.Time
+	// Horizon is the largest window length the test had to examine
+	// (the pseudo-polynomial bound of Theorem 2 or 4, or the exact
+	// hyper-period for the exact variants).
+	Horizon slot.Time
+	// Slack is the bandwidth margin used as the constant c (Theorem 2)
+	// or c′ (Theorem 4).
+	Slack float64
+	// Checked is the number of window lengths actually evaluated.
+	Checked int
+}
+
+// ErrOverUtilized is returned when the requested bandwidth exceeds
+// the available bandwidth, making the system trivially unschedulable.
+var ErrOverUtilized = errors.New("analysis: over-utilized")
+
+// maxHorizon caps test horizons to keep degenerate parameter choices
+// from looping practically forever.
+const maxHorizon = slot.Time(1) << 32
+
+// minSlack is the smallest bandwidth margin the pseudo-polynomial
+// tests accept as their constant c (Theorem 2) or c′ (Theorem 4).
+// Below it the system is in the ε-slack corner the theorems exclude
+// (and floating-point rounding cannot distinguish from zero), so the
+// tests report over-utilization instead.
+const minSlack = 1e-9
+
+// TestGSched applies Theorem 1 with the horizon of Theorem 2: every
+// VM i receives at least Θi free slots in every Πi slots iff
+// Σ dbf(Γi,t) ≤ sbf(σ,t) for all t up to F·(H-1)/H / c, where
+// c = F/H − ΣΘi/Πi > 0.
+//
+// Demand only changes at multiples of the server periods, and supply
+// is non-decreasing, so only those step points need checking.
+func TestGSched(sb *SupplyBound, servers []task.Server) (Result, error) {
+	for _, g := range servers {
+		if err := g.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	if sb.H() == 0 {
+		if len(servers) == 0 {
+			return Result{Schedulable: true}, nil
+		}
+		return Result{}, errors.New("analysis: empty table with non-empty servers")
+	}
+	var usum float64
+	for _, g := range servers {
+		usum += g.Utilization()
+	}
+	bw := float64(sb.F()) / float64(sb.H())
+	slack := bw - usum
+	if slack < minSlack {
+		// Theorem 2's premise needs strictly positive slack; with
+		// zero or negative slack the system is (at best) borderline,
+		// which Sec. IV calls over-utilized in practice.
+		return Result{Slack: slack}, fmt.Errorf("%w: servers need %.4f of bandwidth %.4f", ErrOverUtilized, usum, bw)
+	}
+	horizon := slot.Time(math.Ceil(float64(sb.F()) * float64(sb.H()-1) / float64(sb.H()) / slack))
+	if horizon > maxHorizon {
+		horizon = maxHorizon
+	}
+	res := Result{Schedulable: true, Horizon: horizon, Slack: slack}
+	periods := make([]slot.Time, len(servers))
+	for i, g := range servers {
+		periods[i] = g.Period
+	}
+	stepPoints(periods, periods, horizon, func(t slot.Time) bool {
+		res.Checked++
+		var demand slot.Time
+		for _, g := range servers {
+			demand += ServerDBF(g, t)
+		}
+		if demand > sb.At(t) {
+			res.Schedulable = false
+			res.FailsAt = t
+			return false
+		}
+		return true
+	})
+	return res, nil
+}
+
+// stepPoints lazily visits, in increasing order and without
+// duplicates, the points offsets[i] + m·periods[i] (m ≥ 0) that are
+// < horizon, calling visit on each until it returns false. Memory is
+// O(len(periods)) regardless of the horizon.
+func stepPoints(offsets, periods []slot.Time, horizon slot.Time, visit func(slot.Time) bool) {
+	next := make([]slot.Time, len(offsets))
+	copy(next, offsets)
+	for {
+		min := slot.Never
+		for _, t := range next {
+			if t < min {
+				min = t
+			}
+		}
+		if min >= horizon || min == slot.Never {
+			return
+		}
+		for i, t := range next {
+			if t == min {
+				next[i] = t + periods[i]
+			}
+		}
+		if !visit(min) {
+			return
+		}
+	}
+}
+
+// TestGSchedExact checks Theorem 1's condition for every window
+// length up to lcm(H, Π1..Πn) (plus one period for safety). It is
+// exponential in the worst case and exists to cross-validate
+// TestGSched in tests and small configurations.
+func TestGSchedExact(sb *SupplyBound, servers []task.Server) (Result, error) {
+	for _, g := range servers {
+		if err := g.Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	if sb.H() == 0 {
+		if len(servers) == 0 {
+			return Result{Schedulable: true}, nil
+		}
+		return Result{}, errors.New("analysis: empty table with non-empty servers")
+	}
+	ps := []slot.Time{sb.H()}
+	for _, g := range servers {
+		ps = append(ps, g.Period)
+	}
+	horizon := slot.LCMAll(ps...) + sb.H()
+	if horizon > maxHorizon {
+		return Result{}, fmt.Errorf("analysis: exact horizon %d too large", horizon)
+	}
+	res := Result{Schedulable: true, Horizon: horizon}
+	for t := slot.Time(1); t <= horizon; t++ {
+		res.Checked++
+		var demand slot.Time
+		for _, g := range servers {
+			demand += ServerDBF(g, t)
+		}
+		if demand > sb.At(t) {
+			res.Schedulable = false
+			res.FailsAt = t
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// TestLSched applies Theorem 3 with the horizon of Theorem 4: all
+// I/O jobs of VM i meet their deadlines under EDF on the supply of
+// Γi iff Σ dbf(τk,t) ≤ sbf(Γi,t) for all t up to
+// (max(Tk−Dk) + 2Πi − Θi − 1) / c′, where c′ = Θi/Πi − ΣCk/Tk > 0.
+//
+// Demand changes only at the deadlines t = Dk + m·Tk, so only those
+// points are checked.
+func TestLSched(g task.Server, ts task.Set, vm int) (Result, error) {
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ts.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(ts) == 0 {
+		return Result{Schedulable: true, Slack: g.Utilization()}, nil
+	}
+	slack := g.Utilization() - ts.Utilization()
+	if slack < minSlack {
+		return Result{Slack: slack}, fmt.Errorf("%w: vm %d tasks need %.4f of server bandwidth %.4f",
+			ErrOverUtilized, vm, ts.Utilization(), g.Utilization())
+	}
+	num := float64(ts.MaxLaxity() + 2*g.Period - g.Budget - 1)
+	horizon := slot.Time(math.Ceil(num / slack))
+	if horizon > maxHorizon {
+		horizon = maxHorizon
+	}
+	res := Result{Schedulable: true, Horizon: horizon, Slack: slack}
+	offsets := make([]slot.Time, len(ts))
+	periods := make([]slot.Time, len(ts))
+	for i, tk := range ts {
+		offsets[i] = tk.Deadline
+		periods[i] = tk.Period
+	}
+	stepPoints(offsets, periods, horizon+1, func(t slot.Time) bool {
+		res.Checked++
+		if SetDBF(ts, t) > ServerSBF(g, t) {
+			res.Schedulable = false
+			res.FailsAt = t
+			return false
+		}
+		return true
+	})
+	return res, nil
+}
+
+// TestLSchedExact checks Theorem 3's condition for every window
+// length up to lcm(Πi, T1..Tk) plus the largest deadline. Exponential
+// in the worst case; used for cross-validation.
+func TestLSchedExact(g task.Server, ts task.Set, vm int) (Result, error) {
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ts.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(ts) == 0 {
+		return Result{Schedulable: true}, nil
+	}
+	ps := []slot.Time{g.Period}
+	var maxD slot.Time
+	for _, tk := range ts {
+		ps = append(ps, tk.Period)
+		if tk.Deadline > maxD {
+			maxD = tk.Deadline
+		}
+	}
+	horizon := slot.LCMAll(ps...) + maxD + g.Period
+	if horizon > maxHorizon {
+		return Result{}, fmt.Errorf("analysis: exact horizon %d too large", horizon)
+	}
+	res := Result{Schedulable: true, Horizon: horizon}
+	for t := slot.Time(1); t <= horizon; t++ {
+		res.Checked++
+		if SetDBF(ts, t) > ServerSBF(g, t) {
+			res.Schedulable = false
+			res.FailsAt = t
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// SystemResult is the outcome of the full two-layer test.
+type SystemResult struct {
+	Schedulable bool
+	Global      Result
+	PerVM       map[int]Result
+}
+
+// TestSystem runs the complete two-layer analysis: Theorem 1/2 for
+// the global allocation of free slots to the servers, then Theorem
+// 3/4 per VM for the sporadic tasks on each server's supply. Servers
+// without tasks and tasks whose VM has no server are both rejected.
+func TestSystem(tab *slot.Table, servers []task.Server, ts task.Set) (SystemResult, error) {
+	if err := ts.Validate(); err != nil {
+		return SystemResult{}, err
+	}
+	byVM := ts.ByVM()
+	serverOf := make(map[int]task.Server, len(servers))
+	for _, g := range servers {
+		if _, dup := serverOf[g.VM]; dup {
+			return SystemResult{}, fmt.Errorf("analysis: duplicate server for vm %d", g.VM)
+		}
+		serverOf[g.VM] = g
+	}
+	for vm := range byVM {
+		if _, ok := serverOf[vm]; !ok {
+			return SystemResult{}, fmt.Errorf("analysis: vm %d has tasks but no server", vm)
+		}
+	}
+	sb := NewSupplyBound(tab)
+	global, err := TestGSched(sb, servers)
+	if err != nil {
+		return SystemResult{Global: global}, err
+	}
+	out := SystemResult{Schedulable: global.Schedulable, Global: global, PerVM: map[int]Result{}}
+	for vm, g := range serverOf {
+		local, err := TestLSched(g, byVM[vm], vm)
+		if err != nil {
+			return out, err
+		}
+		out.PerVM[vm] = local
+		if !local.Schedulable {
+			out.Schedulable = false
+		}
+	}
+	return out, nil
+}
+
+// SynthesizeServer returns the smallest budget Θ ∈ [1, Π] such that
+// the VM's task set passes the L-Sched test on Γ=(Π,Θ), using binary
+// search over the budget (ServerSBF is monotone in Θ). It fails when
+// even Θ=Π is insufficient.
+func SynthesizeServer(vm int, pi slot.Time, ts task.Set) (task.Server, error) {
+	if pi <= 0 {
+		return task.Server{}, fmt.Errorf("analysis: non-positive server period %d", pi)
+	}
+	if len(ts) == 0 {
+		return task.Server{VM: vm, Period: pi, Budget: 1}, nil
+	}
+	ok := func(theta slot.Time) bool {
+		r, err := TestLSched(task.Server{VM: vm, Period: pi, Budget: theta}, ts, vm)
+		return err == nil && r.Schedulable
+	}
+	if !ok(pi) {
+		return task.Server{}, fmt.Errorf("analysis: vm %d tasks unschedulable even with full budget Π=%d", vm, pi)
+	}
+	lo, hi := slot.Time(1), pi // invariant: ok(hi)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return task.Server{VM: vm, Period: pi, Budget: hi}, nil
+}
+
+// SynthesizeServers dimensions one server per VM present in ts, all
+// with the same period pi, and verifies the global test against tab.
+// It returns the servers sorted by VM index.
+func SynthesizeServers(tab *slot.Table, ts task.Set, pi slot.Time) ([]task.Server, SystemResult, error) {
+	byVM := ts.ByVM()
+	vms := ts.VMs()
+	servers := make([]task.Server, 0, len(vms))
+	for _, vm := range vms {
+		g, err := SynthesizeServer(vm, pi, byVM[vm])
+		if err != nil {
+			return nil, SystemResult{}, err
+		}
+		servers = append(servers, g)
+	}
+	res, err := TestSystem(tab, servers, ts)
+	return servers, res, err
+}

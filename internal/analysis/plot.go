@@ -1,0 +1,94 @@
+// ASCII plots of supply vs. demand curves — the visual form of the
+// Theorem 1/3 conditions. A configuration is schedulable exactly when
+// the demand staircase never rises above the supply curve; the plot
+// makes the binding window lengths visible.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+// plot renders two integer series (supply, demand) over t ∈ [0, upTo]
+// as a fixed-height ASCII chart: 's' marks supply, 'd' demand, 'x'
+// where they coincide.
+func plot(title string, upTo slot.Time, height int, supply, demand func(slot.Time) slot.Time) string {
+	if upTo < 1 {
+		upTo = 1
+	}
+	if height <= 0 {
+		height = 12
+	}
+	n := int(upTo) + 1
+	sv := make([]slot.Time, n)
+	dv := make([]slot.Time, n)
+	var max slot.Time = 1
+	for t := 0; t < n; t++ {
+		sv[t] = supply(slot.Time(t))
+		dv[t] = demand(slot.Time(t))
+		if sv[t] > max {
+			max = sv[t]
+		}
+		if dv[t] > max {
+			max = dv[t]
+		}
+	}
+	// Downsample columns to at most 72.
+	cols := n
+	if cols > 72 {
+		cols = 72
+	}
+	colOf := func(t int) int { return t * cols / n }
+	rowOf := func(v slot.Time) int { return int(int64(v) * int64(height-1) / int64(max)) }
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for t := 0; t < n; t++ {
+		c := colOf(t)
+		rs, rd := rowOf(sv[t]), rowOf(dv[t])
+		set := func(r int, ch byte) {
+			cur := grid[height-1-r][c]
+			switch {
+			case cur == ' ':
+				grid[height-1-r][c] = ch
+			case cur != ch:
+				grid[height-1-r][c] = 'x'
+			}
+		}
+		set(rs, 's')
+		set(rd, 'd')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (s=supply d=demand x=both; y:0..%d, t:0..%d)\n", title, max, upTo)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", cols) + "\n")
+	return b.String()
+}
+
+// PlotGSched renders sbf(σ,t) against Σ dbf(Γi,t) up to window upTo.
+func PlotGSched(sb *SupplyBound, servers []task.Server, upTo slot.Time) string {
+	return plot("G-Sched: table supply vs server demand", upTo, 12,
+		sb.At,
+		func(t slot.Time) slot.Time {
+			var d slot.Time
+			for _, g := range servers {
+				d += ServerDBF(g, t)
+			}
+			return d
+		})
+}
+
+// PlotLSched renders sbf(Γ,t) against Σ dbf(τk,t) up to window upTo.
+func PlotLSched(g task.Server, ts task.Set, upTo slot.Time) string {
+	return plot(fmt.Sprintf("L-Sched vm%d: server supply vs task demand", g.VM), upTo, 12,
+		func(t slot.Time) slot.Time { return ServerSBF(g, t) },
+		func(t slot.Time) slot.Time { return SetDBF(ts, t) })
+}

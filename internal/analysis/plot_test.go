@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+func TestPlotGSched(t *testing.T) {
+	tab := slot.NewTable(8)
+	tab.Assign(0, 1)
+	sb := NewSupplyBound(tab)
+	servers := []task.Server{{VM: 0, Period: 8, Budget: 2}}
+	out := PlotGSched(sb, servers, 32)
+	if !strings.Contains(out, "G-Sched") || !strings.Contains(out, "s") {
+		t.Errorf("plot missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 14 { // title + 12 rows + axis
+		t.Errorf("plot has %d lines, want 14", len(lines))
+	}
+}
+
+func TestPlotLSched(t *testing.T) {
+	g := task.Server{VM: 3, Period: 8, Budget: 4}
+	ts := task.Set{{ID: 0, VM: 3, Period: 16, WCET: 2, Deadline: 16}}
+	out := PlotLSched(g, ts, 48)
+	if !strings.Contains(out, "vm3") || !strings.Contains(out, "d") {
+		t.Errorf("plot missing content:\n%s", out)
+	}
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	sb := NewSupplyBound(slot.NewTable(4))
+	// upTo < 1 and zero demand must not panic.
+	out := PlotGSched(sb, nil, 0)
+	if out == "" {
+		t.Error("degenerate plot should still render")
+	}
+}
+
+func TestPlotMarksCoincidence(t *testing.T) {
+	// Supply == demand everywhere → every plotted column is 'x'.
+	out := plot("eq", 10, 4,
+		func(t slot.Time) slot.Time { return t },
+		func(t slot.Time) slot.Time { return t })
+	if !strings.Contains(out, "x") || strings.Contains(out, "s ") && strings.Contains(out, "d ") {
+		t.Errorf("coincident series should be marked x:\n%s", out)
+	}
+}

@@ -1,0 +1,105 @@
+// Sensitivity analysis: how much load headroom a configuration has.
+//
+// The schedulability tests of Sec. IV give a yes/no answer; system
+// designers usually want the margin. CriticalScaling binary-searches
+// the largest uniform WCET inflation factor α such that the two-layer
+// analysis still accepts the system — the analytical analogue of the
+// utilization sweep in Fig. 7 (a configuration's success-ratio cliff
+// sits near its critical scaling point).
+package analysis
+
+import (
+	"errors"
+	"fmt"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+// ScalingResult reports the critical scaling factor of a system.
+type ScalingResult struct {
+	// Alpha is the largest tested inflation factor (applied to every
+	// task's WCET) that remained schedulable.
+	Alpha float64
+	// BaselineOK reports whether the unscaled system (α=1) passes; if
+	// not, Alpha < 1 describes how much the load must shrink.
+	BaselineOK bool
+}
+
+// scaleSet returns ts with every WCET inflated by α (rounded up, at
+// least 1 slot), clamping nothing: tasks whose scaled WCET exceeds
+// their deadline simply make the set unschedulable, which is the
+// signal the search uses.
+func scaleSet(ts task.Set, alpha float64) task.Set {
+	out := make(task.Set, len(ts))
+	for i, t := range ts {
+		c := slot.Time(float64(t.WCET)*alpha + 0.999999)
+		if c < 1 {
+			c = 1
+		}
+		t.WCET = c
+		out[i] = t
+	}
+	return out
+}
+
+// feasible reports whether the scaled system passes the full two-layer
+// test, re-synthesizing minimal servers at each probe (the designer
+// re-dimensions servers for the heavier load, so fixed servers would
+// understate the margin).
+func feasible(tab *slot.Table, ts task.Set, pi slot.Time, alpha float64) bool {
+	scaled := scaleSet(ts, alpha)
+	for _, t := range scaled {
+		if t.WCET > t.Deadline {
+			return false
+		}
+	}
+	_, res, err := SynthesizeServers(tab, scaled, pi)
+	return err == nil && res.Schedulable
+}
+
+// CriticalScaling finds, to within tol, the largest WCET inflation
+// factor α ∈ [lo, hi] that keeps ts schedulable on tab with minimal
+// servers of period pi. tol ≤ 0 defaults to 0.01.
+func CriticalScaling(tab *slot.Table, ts task.Set, pi slot.Time, tol float64) (ScalingResult, error) {
+	if err := ts.Validate(); err != nil {
+		return ScalingResult{}, err
+	}
+	if len(ts) == 0 {
+		return ScalingResult{}, errors.New("analysis: empty task set")
+	}
+	if pi <= 0 {
+		return ScalingResult{}, fmt.Errorf("analysis: non-positive server period %d", pi)
+	}
+	if tol <= 0 {
+		tol = 0.01
+	}
+	res := ScalingResult{BaselineOK: feasible(tab, ts, pi, 1)}
+	lo, hi := 0.0, 1.0
+	if res.BaselineOK {
+		// Grow the upper bracket until infeasible (or absurdly large).
+		lo, hi = 1.0, 2.0
+		for feasible(tab, ts, pi, hi) && hi < 64 {
+			lo, hi = hi, hi*2
+		}
+		if hi >= 64 {
+			res.Alpha = hi
+			return res, nil
+		}
+	} else if !feasible(tab, ts, pi, lo+tol) {
+		// Not schedulable even at (almost) zero load: no margin exists.
+		res.Alpha = 0
+		return res, nil
+	}
+	// Invariant: feasible(lo), infeasible(hi).
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if feasible(tab, ts, pi, mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res.Alpha = lo
+	return res, nil
+}

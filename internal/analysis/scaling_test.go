@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"testing"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+func TestCriticalScalingValidation(t *testing.T) {
+	tab := slot.NewTable(8)
+	if _, err := CriticalScaling(tab, nil, 4, 0); err == nil {
+		t.Error("empty set accepted")
+	}
+	bad := task.Set{{ID: 0, Period: -1, WCET: 1, Deadline: 1}}
+	if _, err := CriticalScaling(tab, bad, 4, 0); err == nil {
+		t.Error("invalid set accepted")
+	}
+	ok := task.Set{{ID: 0, VM: 0, Period: 32, WCET: 1, Deadline: 32}}
+	if _, err := CriticalScaling(tab, ok, 0, 0); err == nil {
+		t.Error("non-positive period accepted")
+	}
+}
+
+func TestCriticalScalingLightLoadHasMargin(t *testing.T) {
+	tab := slot.NewTable(16) // all free
+	ts := task.Set{
+		{ID: 0, VM: 0, Period: 128, WCET: 2, Deadline: 128},
+		{ID: 1, VM: 1, Period: 256, WCET: 4, Deadline: 256},
+	}
+	res, err := CriticalScaling(tab, ts, 16, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BaselineOK {
+		t.Fatal("light load should be schedulable at α=1")
+	}
+	if res.Alpha < 2 {
+		t.Errorf("α = %.2f, expected substantial headroom", res.Alpha)
+	}
+	// The reported α must itself be feasible and α+2·tol infeasible
+	// or saturated.
+	if !feasible(tab, ts, 16, res.Alpha) {
+		t.Error("reported α not feasible")
+	}
+}
+
+func TestCriticalScalingRespectsBusyTable(t *testing.T) {
+	// Same tasks, but a table with only half its slots free must yield
+	// a smaller critical scaling factor.
+	free := slot.NewTable(16)
+	busy := slot.NewTable(16)
+	for i := 0; i < 8; i++ {
+		busy.Assign(slot.Time(2*i), 0)
+	}
+	ts := task.Set{
+		{ID: 0, VM: 0, Period: 64, WCET: 4, Deadline: 64},
+		{ID: 1, VM: 1, Period: 64, WCET: 4, Deadline: 64},
+	}
+	a, err := CriticalScaling(free, ts, 16, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CriticalScaling(busy, ts, 16, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Alpha >= a.Alpha {
+		t.Errorf("busy table α=%.2f should be below free table α=%.2f", b.Alpha, a.Alpha)
+	}
+}
+
+func TestCriticalScalingOverloadedBaseline(t *testing.T) {
+	tab := slot.NewTable(8)
+	ts := task.Set{
+		{ID: 0, VM: 0, Period: 8, WCET: 5, Deadline: 8},
+		{ID: 1, VM: 1, Period: 8, WCET: 5, Deadline: 8},
+	}
+	res, err := CriticalScaling(tab, ts, 8, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineOK {
+		t.Fatal("overloaded baseline should fail at α=1")
+	}
+	if res.Alpha >= 1 {
+		t.Errorf("α = %.2f, want < 1 for an overloaded system", res.Alpha)
+	}
+}
+
+func TestScaleSetRoundsUp(t *testing.T) {
+	ts := task.Set{{ID: 0, VM: 0, Period: 10, WCET: 3, Deadline: 10}}
+	got := scaleSet(ts, 1.1)
+	if got[0].WCET != 4 {
+		t.Errorf("scaled WCET = %d, want ceil(3.3)=4", got[0].WCET)
+	}
+	tiny := scaleSet(ts, 0.01)
+	if tiny[0].WCET != 1 {
+		t.Errorf("scaled WCET = %d, want floor of 1", tiny[0].WCET)
+	}
+	if ts[0].WCET != 3 {
+		t.Error("scaleSet must not mutate its input")
+	}
+}

@@ -1,0 +1,202 @@
+// meshTransport: shared NoC plumbing for the baselines that move I/O
+// over the on-chip network (BS|Legacy, BS|RT-XEN). Processors occupy
+// the upper mesh rows, I/O controllers the bottom row; requests and
+// responses are encapsulated as packets (assumption (ii) of Sec. II)
+// and contend in the routers' FIFO arbiters.
+package baseline
+
+import (
+	"fmt"
+
+	"ioguard/internal/noc"
+	"ioguard/internal/packet"
+	"ioguard/internal/slot"
+	"ioguard/internal/system"
+	"ioguard/internal/task"
+)
+
+// jobKey identifies an in-flight job across the packet boundary.
+type jobKey struct {
+	task uint16
+	seq  uint32
+}
+
+// maxPacketPayload caps the command/descriptor payload carried across
+// the NoC per operation; bulk data moves by DMA outside the request
+// path, so only the descriptor contends in the routers.
+const maxPacketPayload = 64
+
+// meshTransport carries jobs to per-device stations over a mesh NoC.
+type meshTransport struct {
+	mesh     *noc.Mesh
+	vms      int
+	col      *system.Collector
+	stations map[string]*station
+	devTile  map[string]packet.NodeID
+	tileDev  map[packet.NodeID]string
+	inflight map[jobKey]*task.Job
+	respCost slot.Time // software response-path cost at the processor
+	dropped  int64
+	// observe optionally post-processes the observed completion time
+	// (RT-Xen delays it to the VM's next VCPU window).
+	observe func(vmID int, at slot.Time) slot.Time
+}
+
+// newMeshTransport wires a transport over a fresh default mesh for
+// the given devices, creating one globalFIFO station per device.
+func newMeshTransport(vms int, devices []string, col *system.Collector, respCost slot.Time) (*meshTransport, error) {
+	mesh, err := noc.New(noc.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg := mesh.Config()
+	if len(devices) > cfg.Width {
+		return nil, fmt.Errorf("baseline: %d devices exceed the mesh's device row (%d)", len(devices), cfg.Width)
+	}
+	t := &meshTransport{
+		mesh:     mesh,
+		vms:      vms,
+		col:      col,
+		stations: make(map[string]*station),
+		devTile:  make(map[string]packet.NodeID),
+		tileDev:  make(map[packet.NodeID]string),
+		inflight: make(map[jobKey]*task.Job),
+		respCost: respCost,
+	}
+	for i, dev := range devices {
+		tile := mesh.NodeAt(noc.Coord{X: i, Y: cfg.Height - 1})
+		t.devTile[dev] = tile
+		t.tileDev[tile] = dev
+		devName := dev
+		st, err := newStation(dev, globalFIFO, vms, controllerSetupSlots, func(j *task.Job, finished slot.Time) {
+			t.sendResponse(devName, j, finished)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.stations[dev] = st
+	}
+	mesh.OnDeliver = t.onDeliver
+	return t, nil
+}
+
+// vmTile maps a VM to its processor tile (top rows of the mesh; VMs
+// beyond the processor count share cores, as in the prototype's up to
+// three guests per MicroBlaze).
+func (t *meshTransport) vmTile(vmID int) packet.NodeID {
+	cfg := t.mesh.Config()
+	cores := cfg.Width * (cfg.Height - 1)
+	return packet.NodeID(vmID % cores)
+}
+
+func key(j *task.Job) jobKey {
+	return jobKey{task: uint16(j.Task.ID), seq: uint32(j.Seq)}
+}
+
+// sendRequest injects a job's request packet at its VM's tile.
+func (t *meshTransport) sendRequest(now slot.Time, j *task.Job) {
+	tile, ok := t.devTile[j.Task.Device]
+	if !ok {
+		t.dropped++
+		return
+	}
+	payload := j.Task.OpBytes
+	if payload > maxPacketPayload {
+		payload = maxPacketPayload
+	}
+	p := packet.New(packet.Header{
+		Src:      t.vmTile(j.Task.VM),
+		Dst:      tile,
+		VM:       uint8(j.Task.VM),
+		Kind:     packet.Request,
+		Op:       packet.Write,
+		Task:     uint16(j.Task.ID),
+		Seq:      uint32(j.Seq),
+		Deadline: j.Deadline,
+	}, make([]byte, payload))
+	t.inflight[key(j)] = j
+	if !t.mesh.Inject(now, p) {
+		delete(t.inflight, key(j))
+		t.dropped++
+	}
+}
+
+// sendResponse injects the completion notification back to the VM.
+func (t *meshTransport) sendResponse(dev string, j *task.Job, finished slot.Time) {
+	payload := j.Task.OpBytes
+	if payload > maxPacketPayload {
+		payload = maxPacketPayload
+	}
+	p := packet.New(packet.Header{
+		Src:      t.devTile[dev],
+		Dst:      t.vmTile(j.Task.VM),
+		VM:       uint8(j.Task.VM),
+		Kind:     packet.Response,
+		Op:       packet.Write,
+		Task:     uint16(j.Task.ID),
+		Seq:      uint32(j.Seq),
+		Deadline: j.Deadline,
+	}, make([]byte, payload))
+	if !t.mesh.Inject(finished, p) {
+		t.dropped++
+	}
+}
+
+// onDeliver routes delivered packets: requests into the device
+// station, responses to the collector.
+func (t *meshTransport) onDeliver(p *packet.Packet, injected, now slot.Time) {
+	k := jobKey{task: p.Task, seq: p.Seq}
+	j, ok := t.inflight[k]
+	if !ok {
+		t.dropped++
+		return
+	}
+	switch p.Kind {
+	case packet.Request:
+		dev, ok := t.tileDev[p.Dst]
+		if !ok {
+			t.dropped++
+			return
+		}
+		if err := t.stations[dev].enqueue(j); err != nil {
+			t.dropped++
+		}
+	case packet.Response:
+		delete(t.inflight, k)
+		at := now + 1 + t.respCost
+		if t.observe != nil {
+			at = t.observe(j.Task.VM, at)
+		}
+		if t.col != nil {
+			t.col.Complete(j, at)
+		}
+	}
+}
+
+// step advances the mesh and every station one slot.
+func (t *meshTransport) step(now slot.Time) {
+	t.mesh.Step(now)
+	for _, dev := range t.deviceNames() {
+		t.stations[dev].step(now)
+	}
+}
+
+// deviceNames returns the devices in deterministic (tile) order.
+func (t *meshTransport) deviceNames() []string {
+	cfg := t.mesh.Config()
+	out := make([]string, 0, len(t.devTile))
+	for i := 0; i < cfg.Width; i++ {
+		tile := t.mesh.NodeAt(noc.Coord{X: i, Y: cfg.Height - 1})
+		if dev, ok := t.tileDev[tile]; ok {
+			out = append(out, dev)
+		}
+	}
+	return out
+}
+
+// pendingJobs visits all in-flight jobs (in the mesh or at stations).
+func (t *meshTransport) pendingJobs(visit func(j *task.Job)) {
+	for _, j := range t.inflight {
+		visit(j)
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSystemNamesAndBuildersAgree(t *testing.T) {
+	builders := Builders()
+	for _, n := range SystemNames() {
+		if _, ok := builders[n]; !ok {
+			t.Errorf("system %q has no builder", n)
+		}
+	}
+	if len(builders) != len(SystemNames()) {
+		t.Errorf("builders = %d, names = %d", len(builders), len(SystemNames()))
+	}
+}
+
+func TestDefaultUtils(t *testing.T) {
+	utils := DefaultUtils()
+	if len(utils) != 13 {
+		t.Fatalf("grid size = %d, want 13", len(utils))
+	}
+	if utils[0] != 0.40 || utils[len(utils)-1] != 1.00 {
+		t.Errorf("grid = %v", utils)
+	}
+	for i := 1; i < len(utils); i++ {
+		if d := utils[i] - utils[i-1]; d < 0.049 || d > 0.051 {
+			t.Errorf("grid step %v at %d", d, i)
+		}
+	}
+}
+
+func TestCaseStudyValidation(t *testing.T) {
+	if _, err := CaseStudy(CaseStudyConfig{VMs: 0}); err == nil {
+		t.Error("zero VMs accepted")
+	}
+	if _, err := CaseStudy(CaseStudyConfig{
+		VMs: 2, Utils: []float64{0.5}, Trials: 1, HyperPeriods: 1,
+		Systems: []string{"nope"},
+	}); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+// TestCaseStudySmall runs a reduced sweep end to end and checks the
+// headline orderings of Obs. 3.
+func TestCaseStudySmall(t *testing.T) {
+	points, err := CaseStudy(CaseStudyConfig{
+		VMs:          4,
+		Utils:        []float64{0.45, 0.95},
+		Trials:       2,
+		HyperPeriods: 2,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*len(SystemNames()) {
+		t.Fatalf("points = %d", len(points))
+	}
+	get := func(sys string, util float64) float64 {
+		for _, p := range points {
+			if p.System == sys && p.Util == util {
+				return p.Agg.SuccessRatio()
+			}
+		}
+		t.Fatalf("missing point %s/%.2f", sys, util)
+		return 0
+	}
+	// At low utilization everyone succeeds.
+	for _, n := range SystemNames() {
+		if get(n, 0.45) < 0.99 {
+			t.Errorf("%s at 0.45: success %.2f, want 1.0", n, get(n, 0.45))
+		}
+	}
+	// At high utilization I/O-GUARD-70 beats every baseline.
+	for _, n := range []string{"BS|Legacy", "BS|RT-XEN", "BS|BV"} {
+		if get("I/O-GUARD-70", 0.95) < get(n, 0.95) {
+			t.Errorf("I/O-GUARD-70 (%.2f) should not lose to %s (%.2f) at 0.95",
+				get("I/O-GUARD-70", 0.95), n, get(n, 0.95))
+		}
+	}
+	out := RenderCaseStudy(points, 4)
+	for _, want := range []string{"Fig. 7", "success ratio", "I/O throughput", "I/O-GUARD-70"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	out, err := RenderTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"MicroBlaze", "Proposed", "LUTs", "BlueIO"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	points, err := Fig8(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.GuardArea <= p.LegacyArea {
+			t.Errorf("η=%d: guard area should exceed legacy", p.Eta)
+		}
+		if p.GuardFmax <= p.LegacyFmax {
+			t.Errorf("η=%d: guard fmax should exceed legacy", p.Eta)
+		}
+	}
+	if _, err := Fig8(-1); err == nil {
+		t.Error("negative eta accepted")
+	}
+	out := RenderFig8(points)
+	if !strings.Contains(out, "Fig. 8") || !strings.Contains(out, "fmax") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestSchedulerAblation(t *testing.T) {
+	points, err := SchedulerAblation(2, 0.6, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("ablation points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Agg.Trials != 1 {
+			t.Errorf("%s: trials = %d", p.Config, p.Agg.Trials)
+		}
+	}
+}
+
+func TestResponseProfile(t *testing.T) {
+	profiles, err := ResponseProfile(2, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != len(SystemNames()) {
+		t.Fatalf("profiles = %d systems", len(profiles))
+	}
+	for name, h := range profiles {
+		if h.N() == 0 {
+			t.Errorf("%s: empty histogram", name)
+		}
+	}
+	out := RenderResponseProfile(profiles)
+	for _, n := range SystemNames() {
+		if !strings.Contains(out, n) {
+			t.Errorf("render missing %s", n)
+		}
+	}
+}
+
+func TestPreloadSweep(t *testing.T) {
+	points, err := PreloadSweep(2, 0.5, []float64{0, 1}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	out := RenderPreloadSweep(points, 2, 0.5)
+	if !strings.Contains(out, "Pre-load fraction sweep") {
+		t.Errorf("render = %q", out)
+	}
+}

@@ -1,0 +1,93 @@
+package footprint
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ioguard/internal/rtos"
+)
+
+func TestFig6RowsShape(t *testing.T) {
+	rows, err := Fig6Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 systems × (hypervisor + kernel + 6 drivers) = 32 bars.
+	if len(rows) != 32 {
+		t.Fatalf("rows = %d, want 32", len(rows))
+	}
+	perArch := map[rtos.Arch]int{}
+	for _, r := range rows {
+		perArch[r.Arch]++
+		if r.Seg.Text < 0 || r.Seg.Data < 0 || r.Seg.BSS < 0 {
+			t.Errorf("%v/%s: negative segment", r.Arch, r.Component)
+		}
+	}
+	for a, n := range perArch {
+		if n != 8 {
+			t.Errorf("%v has %d rows, want 8", a, n)
+		}
+	}
+}
+
+func TestOverheadVsLegacyMatchesPaper(t *testing.T) {
+	kb, pct := OverheadVsLegacy(rtos.RTXen)
+	if math.Abs(kb-61) > 1 {
+		t.Errorf("RT-Xen overhead = %.1f KB, want ≈61", kb)
+	}
+	if math.Abs(pct-129.8) > 5 {
+		t.Errorf("RT-Xen overhead = %.1f%%, want ≈129.8%%", pct)
+	}
+	if kb, _ := OverheadVsLegacy(rtos.Legacy); kb != 0 {
+		t.Error("legacy overhead vs itself should be 0")
+	}
+	// Obs. 1 ordering: RT-Xen > BV > Legacy ≥ I/O-GUARD on
+	// hypervisor+kernel.
+	if !(CoreTotal(rtos.RTXen) > CoreTotal(rtos.BlueVisor) &&
+		CoreTotal(rtos.BlueVisor) > CoreTotal(rtos.Legacy) &&
+		CoreTotal(rtos.Legacy) > CoreTotal(rtos.IOGuard)) {
+		t.Errorf("core footprint ordering wrong: xen=%.1f bv=%.1f leg=%.1f iog=%.1f",
+			CoreTotal(rtos.RTXen), CoreTotal(rtos.BlueVisor),
+			CoreTotal(rtos.Legacy), CoreTotal(rtos.IOGuard))
+	}
+}
+
+func TestStackTotal(t *testing.T) {
+	devs := []string{"ethernet", "flexray"}
+	for _, a := range rtos.Arches() {
+		total, err := StackTotal(a, devs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total <= CoreTotal(a) {
+			t.Errorf("%v: stack total %.1f should exceed core %.1f", a, total, CoreTotal(a))
+		}
+	}
+	if _, err := StackTotal(rtos.Legacy, []string{"tape"}); err == nil {
+		t.Error("unknown device accepted")
+	}
+	// The full I/O-GUARD stack undercuts every other architecture.
+	iog, _ := StackTotal(rtos.IOGuard, devs)
+	for _, a := range []rtos.Arch{rtos.Legacy, rtos.RTXen, rtos.BlueVisor} {
+		other, _ := StackTotal(a, devs)
+		if iog >= other {
+			t.Errorf("I/O-GUARD stack %.1f should undercut %v's %.1f", iog, a, other)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	out, err := Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"I/O-GUARD", "BS|RT-XEN", "kernel", "driver:ethernet", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 33 { // header + 32 rows
+		t.Errorf("render lines = %d, want 33", lines)
+	}
+}

@@ -1,0 +1,231 @@
+package hw
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{LUTs: 10, Registers: 20, DSPs: 1, RAMKB: 4, PowerMW: 2}
+	b := Resources{LUTs: 1, Registers: 2, DSPs: 1, RAMKB: 1, PowerMW: 0.5}
+	sum := a.Add(b)
+	if sum.LUTs != 11 || sum.Registers != 22 || sum.DSPs != 2 || sum.RAMKB != 5 || sum.PowerMW != 2.5 {
+		t.Errorf("Add = %+v", sum)
+	}
+	tri := a.Scale(3)
+	if tri.LUTs != 30 || tri.PowerMW != 6 {
+		t.Errorf("Scale = %+v", tri)
+	}
+	if !strings.Contains(a.String(), "LUTs=10") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestHypervisorValidation(t *testing.T) {
+	if _, err := Hypervisor(0, 2); err == nil {
+		t.Error("zero VMs accepted")
+	}
+	if _, err := Hypervisor(16, 0); err == nil {
+		t.Error("zero I/Os accepted")
+	}
+}
+
+// TestTable1Calibration pins the model to the paper's measured
+// "Proposed" row at the 16-VM, 2-I/O configuration.
+func TestTable1Calibration(t *testing.T) {
+	got, err := Hypervisor(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := func(name string, got, want, tol float64) {
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %.0f, want %.0f ± %.0f", name, got, want, tol)
+		}
+	}
+	within("LUTs", float64(got.LUTs), 2777, 2777*0.02)
+	within("Registers", float64(got.Registers), 2974, 2974*0.02)
+	within("Power", got.PowerMW, 279, 279*0.02)
+	if got.DSPs != 0 {
+		t.Errorf("DSPs = %d, want 0", got.DSPs)
+	}
+	if got.RAMKB != 256 {
+		t.Errorf("RAM = %d KB, want 256", got.RAMKB)
+	}
+}
+
+// TestTable1Orderings checks every comparison Obs. 2 draws from the
+// table.
+func TestTable1Orderings(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Resources{}
+	for _, r := range rows {
+		byName[r.Name] = r.Res
+	}
+	prop := byName["Proposed"]
+	// "significantly less hardware than full-featured processors":
+	// ≈56.6% of MicroBlaze's LUTs, 67.8% registers, 77.7% power.
+	if f := float64(prop.LUTs) / float64(byName["MicroBlaze"].LUTs); math.Abs(f-0.566) > 0.03 {
+		t.Errorf("LUT ratio vs MicroBlaze = %.3f, want ≈0.566", f)
+	}
+	if f := float64(prop.Registers) / float64(byName["MicroBlaze"].Registers); math.Abs(f-0.678) > 0.03 {
+		t.Errorf("register ratio vs MicroBlaze = %.3f, want ≈0.678", f)
+	}
+	if f := prop.PowerMW / byName["MicroBlaze"].PowerMW; math.Abs(f-0.777) > 0.03 {
+		t.Errorf("power ratio vs MicroBlaze = %.3f, want ≈0.777", f)
+	}
+	// ≈37.4% of RISC-V's LUTs, 18.2% registers, 47.9% power.
+	if f := float64(prop.LUTs) / float64(byName["RISC-V"].LUTs); math.Abs(f-0.374) > 0.03 {
+		t.Errorf("LUT ratio vs RISC-V = %.3f, want ≈0.374", f)
+	}
+	if f := float64(prop.Registers) / float64(byName["RISC-V"].Registers); math.Abs(f-0.182) > 0.03 {
+		t.Errorf("register ratio vs RISC-V = %.3f, want ≈0.182", f)
+	}
+	// More hardware than plain I/O controllers.
+	if prop.LUTs <= byName["SPI"].LUTs || prop.LUTs <= byName["Ethernet"].LUTs {
+		t.Error("hypervisor should cost more than bare I/O controllers")
+	}
+	// Same RAM as BlueVisor, fewer LUTs and registers.
+	bv := byName["BlueIO"]
+	if prop.RAMKB != bv.RAMKB {
+		t.Error("RAM should match BlueVisor")
+	}
+	if prop.LUTs >= bv.LUTs || prop.Registers >= bv.Registers {
+		t.Error("proposed should undercut BlueVisor logic")
+	}
+}
+
+func TestHypervisorScalesLinearlyInVMs(t *testing.T) {
+	h8, _ := Hypervisor(8, 2)
+	h16, _ := Hypervisor(16, 2)
+	h32, _ := Hypervisor(32, 2)
+	d1 := h16.LUTs - h8.LUTs
+	d2 := h32.LUTs - h16.LUTs
+	if d2 != 2*d1 {
+		t.Errorf("LUT growth not linear in VMs: +%d then +%d", d1, d2)
+	}
+	// RAM is per-device, not per-VM.
+	if h8.RAMKB != h32.RAMKB {
+		t.Error("RAM should not scale with VMs")
+	}
+}
+
+func TestSystemResourcesValidation(t *testing.T) {
+	if _, err := SystemResources(true, -1); err == nil {
+		t.Error("negative eta accepted")
+	}
+	if _, err := NormalizedArea(true, -1); err == nil {
+		t.Error("negative eta accepted")
+	}
+	if _, err := SystemPowerMW(true, -1); err == nil {
+		t.Error("negative eta accepted")
+	}
+	if _, err := MaxFrequencyMHz(true, -1); err == nil {
+		t.Error("negative eta accepted")
+	}
+}
+
+// TestFig8aAreaScaling: both systems grow with η; I/O-GUARD's
+// overhead over legacy stays under 20% (Obs. 5).
+func TestFig8aAreaScaling(t *testing.T) {
+	var prevLegacy, prevGuard float64
+	for eta := 0; eta <= 5; eta++ {
+		leg, err := NormalizedArea(false, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grd, err := NormalizedArea(true, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leg <= prevLegacy && eta > 0 && (1<<eta) <= 32 {
+			t.Errorf("η=%d: legacy area did not grow (%.4f ≤ %.4f)", eta, leg, prevLegacy)
+		}
+		if grd <= leg {
+			t.Errorf("η=%d: I/O-GUARD must cost more area than legacy", eta)
+		}
+		if over := (grd - leg) / leg; over > 0.20 {
+			t.Errorf("η=%d: area overhead %.1f%% exceeds the 20%% bound", eta, over*100)
+		}
+		if grd > 1 {
+			t.Errorf("η=%d: normalized area %.3f exceeds the fabric", eta, grd)
+		}
+		prevLegacy, prevGuard = leg, grd
+	}
+	_ = prevGuard
+}
+
+// TestFig8bPowerScaling: power tracks area and grows with η.
+func TestFig8bPowerScaling(t *testing.T) {
+	var prev float64
+	for eta := 0; eta <= 4; eta++ {
+		leg, _ := SystemPowerMW(false, eta)
+		grd, _ := SystemPowerMW(true, eta)
+		if grd <= leg {
+			t.Errorf("η=%d: I/O-GUARD must draw more power than legacy", eta)
+		}
+		if eta > 0 && grd <= prev {
+			t.Errorf("η=%d: power did not grow", eta)
+		}
+		prev = grd
+	}
+}
+
+// TestFig8cFmax: the hypervisor's fmax exceeds the legacy fabric's at
+// every scale and degrades slowly (Obs. 6).
+func TestFig8cFmax(t *testing.T) {
+	var prev float64 = math.Inf(1)
+	for eta := 0; eta <= 5; eta++ {
+		grd, err := MaxFrequencyMHz(true, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leg, _ := MaxFrequencyMHz(false, eta)
+		if grd <= leg {
+			t.Errorf("η=%d: hypervisor fmax %.1f must exceed legacy %.1f", eta, grd, leg)
+		}
+		if grd > prev {
+			t.Errorf("η=%d: fmax should not improve with scale", eta)
+		}
+		if grd < 100 {
+			t.Errorf("η=%d: fmax %.1f below the 100 MHz operating clock", eta, grd)
+		}
+		prev = grd
+	}
+}
+
+func TestTable1RowOrder(t *testing.T) {
+	rows, _ := Table1()
+	want := []string{"MicroBlaze", "RISC-V", "SPI", "Ethernet", "BlueIO", "Proposed"}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Name != want[i] {
+			t.Errorf("row %d = %q, want %q", i, r.Name, want[i])
+		}
+	}
+}
+
+func TestBreakdownSumsToHypervisor(t *testing.T) {
+	for _, cfg := range []struct{ vms, ios int }{{16, 2}, {4, 1}, {32, 3}} {
+		rows, err := Breakdown(cfg.vms, cfg.ios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum Resources
+		for _, r := range rows {
+			sum = sum.Add(r.Res)
+		}
+		want, _ := Hypervisor(cfg.vms, cfg.ios)
+		if sum != want {
+			t.Errorf("%d VMs/%d IOs: breakdown sum %+v ≠ hypervisor %+v", cfg.vms, cfg.ios, sum, want)
+		}
+	}
+	if _, err := Breakdown(0, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

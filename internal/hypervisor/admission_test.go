@@ -1,0 +1,180 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+func admissionManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := New(Config{
+		VMs:  2,
+		Mode: ServerEDF,
+		Servers: []task.Server{
+			{VM: 0, Period: 8, Budget: 3},
+			{VM: 1, Period: 8, Budget: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableAdmission(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEnableAdmissionRequiresServerEDF(t *testing.T) {
+	m, _ := New(Config{VMs: 1, Mode: DirectEDF})
+	if err := m.EnableAdmission(); err == nil {
+		t.Error("DirectEDF admission accepted")
+	}
+	m2, _ := New(Config{VMs: 1, Mode: ServerEDF})
+	if err := m2.EnableAdmission(); err == nil {
+		t.Error("admission without servers accepted")
+	}
+	if m2.AdmissionEnabled() {
+		t.Error("admission should be off after failed enable")
+	}
+}
+
+func TestRegisterTaskAcceptsFeasible(t *testing.T) {
+	m := admissionManager(t)
+	spec := task.Sporadic{ID: 0, VM: 0, Period: 64, WCET: 4, Deadline: 64}
+	if err := m.RegisterTask(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Jobs of the registered task flow normally.
+	j := task.NewJob(&spec, 0, 0)
+	m.Submit(0, j)
+	for now := slot.Time(0); now < 64; now++ {
+		m.Step(now)
+	}
+	if m.Stats().Completed != 1 {
+		t.Errorf("registered task's job did not complete: %+v", m.Stats())
+	}
+	if m.RejectedAtAdmission() != 0 {
+		t.Error("no rejections expected")
+	}
+}
+
+func TestRegisterTaskRejectsOverload(t *testing.T) {
+	m := admissionManager(t)
+	ok := task.Sporadic{ID: 0, VM: 0, Period: 32, WCET: 8, Deadline: 32} // 2/3 of the Θ/Π=0.375 reservation
+	if err := m.RegisterTask(ok); err != nil {
+		t.Fatal(err)
+	}
+	// A second task pushing the VM past its reservation.
+	over := task.Sporadic{ID: 1, VM: 0, Period: 32, WCET: 10, Deadline: 32}
+	if err := m.RegisterTask(over); err == nil {
+		t.Error("overloading registration accepted")
+	}
+	// The other VM is unaffected.
+	other := task.Sporadic{ID: 2, VM: 1, Period: 64, WCET: 8, Deadline: 64}
+	if err := m.RegisterTask(other); err != nil {
+		t.Errorf("independent VM registration failed: %v", err)
+	}
+}
+
+func TestRegisterTaskValidation(t *testing.T) {
+	m := admissionManager(t)
+	if err := m.RegisterTask(task.Sporadic{ID: 0, VM: 0, Period: 0, WCET: 1, Deadline: 1}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if err := m.RegisterTask(task.Sporadic{ID: 0, VM: 9, Period: 32, WCET: 1, Deadline: 32}); err == nil {
+		t.Error("out-of-range vm accepted")
+	}
+	spec := task.Sporadic{ID: 0, VM: 0, Period: 64, WCET: 1, Deadline: 64}
+	if err := m.RegisterTask(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterTask(spec); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	plain, _ := New(Config{VMs: 1, Mode: DirectEDF})
+	if err := plain.RegisterTask(spec); err == nil {
+		t.Error("registration without admission control accepted")
+	}
+	if err := plain.UnregisterTask(0, 0); err == nil {
+		t.Error("unregister without admission control accepted")
+	}
+}
+
+func TestUnregisterFreesBandwidth(t *testing.T) {
+	m := admissionManager(t)
+	big := task.Sporadic{ID: 0, VM: 0, Period: 64, WCET: 12, Deadline: 64}
+	if err := m.RegisterTask(big); err != nil {
+		t.Fatal(err)
+	}
+	next := task.Sporadic{ID: 1, VM: 0, Period: 64, WCET: 12, Deadline: 64}
+	if err := m.RegisterTask(next); err == nil {
+		t.Fatal("second heavy task should not fit")
+	}
+	if err := m.UnregisterTask(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterTask(next); err != nil {
+		t.Errorf("after unregister the bandwidth should be free: %v", err)
+	}
+	if err := m.UnregisterTask(0, 99); err == nil {
+		t.Error("unregistering unknown task accepted")
+	}
+}
+
+func TestUnregisteredJobsDropped(t *testing.T) {
+	m := admissionManager(t)
+	rogue := task.Sporadic{ID: 7, VM: 0, Period: 16, WCET: 2, Deadline: 16}
+	m.Submit(0, task.NewJob(&rogue, 0, 0))
+	for now := slot.Time(0); now < 32; now++ {
+		m.Step(now)
+	}
+	if m.Stats().Completed != 0 {
+		t.Error("unregistered job executed")
+	}
+	if m.RejectedAtAdmission() != 1 || m.Stats().Dropped != 1 {
+		t.Errorf("rejected=%d dropped=%d, want 1/1", m.RejectedAtAdmission(), m.Stats().Dropped)
+	}
+}
+
+func TestAdmissionGuaranteesHold(t *testing.T) {
+	// Register tasks up to the acceptance boundary and run them at
+	// maximal rate: nothing registered may miss.
+	m := admissionManager(t)
+	specs := []task.Sporadic{
+		{ID: 0, VM: 0, Period: 32, WCET: 4, Deadline: 32},
+		{ID: 1, VM: 0, Period: 64, WCET: 8, Deadline: 64},
+		{ID: 2, VM: 1, Period: 48, WCET: 10, Deadline: 48},
+	}
+	var accepted []*task.Sporadic
+	for i := range specs {
+		if err := m.RegisterTask(specs[i]); err == nil {
+			accepted = append(accepted, &specs[i])
+		}
+	}
+	if len(accepted) == 0 {
+		t.Fatal("nothing admitted")
+	}
+	misses := 0
+	m.OnComplete = func(j *task.Job, at slot.Time) {
+		if at > j.Deadline {
+			misses++
+		}
+	}
+	next := make([]slot.Time, len(accepted))
+	seq := make([]int, len(accepted))
+	for now := slot.Time(0); now < 2048; now++ {
+		for i, spec := range accepted {
+			if next[i] <= now {
+				m.Submit(now, task.NewJob(spec, seq[i], now))
+				seq[i]++
+				next[i] = now + spec.Period
+			}
+		}
+		m.Step(now)
+	}
+	if misses != 0 {
+		t.Errorf("admitted tasks missed %d deadlines", misses)
+	}
+}

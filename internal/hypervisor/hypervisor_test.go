@@ -1,0 +1,129 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"ioguard/internal/iodev"
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+func TestDriverDefaults(t *testing.T) {
+	d := NewDriver(iodev.SPI)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.RequestLatency() != 1 || d.ResponseLatency() != 1 {
+		t.Error("default translation costs should be 1 slot each way")
+	}
+	if d.ServiceSlots(64) != iodev.SPI.ServiceSlots(64) {
+		t.Error("ServiceSlots should delegate to the controller model")
+	}
+}
+
+func TestDriverValidate(t *testing.T) {
+	bad := []Driver{
+		{Controller: iodev.Model{}},
+		{Controller: iodev.SPI, ReqTranslateWCET: -1},
+		{Controller: iodev.SPI, RespTranslateWCET: -1},
+		{Controller: iodev.SPI, DriverBankKB: -1},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("case %d: invalid driver accepted", i)
+		}
+	}
+}
+
+func newTestHV(t *testing.T) (*Hypervisor, *Manager, *Manager) {
+	t.Helper()
+	h := NewHypervisor()
+	mEth, err := New(Config{VMs: 2, Mode: DirectEDF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFlex, err := New(Config{VMs: 2, Mode: DirectEDF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add("ethernet", mEth, NewDriver(iodev.Ethernet)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add("flexray", mFlex, NewDriver(iodev.FlexRay)); err != nil {
+		t.Fatal(err)
+	}
+	return h, mEth, mFlex
+}
+
+func TestHypervisorAddValidation(t *testing.T) {
+	h := NewHypervisor()
+	m, _ := New(Config{VMs: 1})
+	if err := h.Add("", m, NewDriver(iodev.SPI)); err == nil {
+		t.Error("empty device name accepted")
+	}
+	if err := h.Add("spi", m, Driver{}); err == nil {
+		t.Error("invalid driver accepted")
+	}
+	if err := h.Add("spi", m, NewDriver(iodev.SPI)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add("spi", m, NewDriver(iodev.SPI)); err == nil {
+		t.Error("duplicate device accepted")
+	}
+}
+
+func TestHypervisorRouting(t *testing.T) {
+	h, mEth, mFlex := newTestHV(t)
+	tkE := &task.Sporadic{ID: 0, VM: 0, Device: "ethernet", Period: 100, WCET: 1, Deadline: 100}
+	tkF := &task.Sporadic{ID: 1, VM: 1, Device: "flexray", Period: 100, WCET: 1, Deadline: 100}
+	tkX := &task.Sporadic{ID: 2, VM: 0, Device: "uart", Period: 100, WCET: 1, Deadline: 100}
+	h.Submit(0, task.NewJob(tkE, 0, 0))
+	h.Submit(0, task.NewJob(tkF, 0, 0))
+	h.Submit(0, task.NewJob(tkX, 0, 0))
+	if h.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", h.Dropped())
+	}
+	for now := slot.Time(0); now < 5; now++ {
+		h.Step(now)
+	}
+	if mEth.Stats().Completed != 1 || mFlex.Stats().Completed != 1 {
+		t.Errorf("completions eth=%d flex=%d, want 1/1",
+			mEth.Stats().Completed, mFlex.Stats().Completed)
+	}
+	st := h.Stats()
+	if len(st) != 2 || st["ethernet"].Completed != 1 {
+		t.Errorf("Stats = %v", st)
+	}
+}
+
+func TestHypervisorAccessors(t *testing.T) {
+	h, mEth, _ := newTestHV(t)
+	if got, err := h.Manager("ethernet"); err != nil || got != mEth {
+		t.Error("Manager lookup failed")
+	}
+	if _, err := h.Manager("nope"); err == nil {
+		t.Error("unknown manager lookup accepted")
+	}
+	if d, err := h.Driver("flexray"); err != nil || d.Controller.Name != "flexray" {
+		t.Error("Driver lookup failed")
+	}
+	if _, err := h.Driver("nope"); err == nil {
+		t.Error("unknown driver lookup accepted")
+	}
+	devs := h.Devices()
+	if len(devs) != 2 || devs[0] != "ethernet" || devs[1] != "flexray" {
+		t.Errorf("Devices = %v", devs)
+	}
+}
+
+func TestHypervisorPendingJobs(t *testing.T) {
+	h, _, _ := newTestHV(t)
+	tk := &task.Sporadic{ID: 0, VM: 0, Device: "ethernet", Period: 100, WCET: 50, Deadline: 100}
+	h.Submit(0, task.NewJob(tk, 0, 0))
+	h.Step(0)
+	n := 0
+	h.PendingJobs(func(j *task.Job) { n++ })
+	if n != 1 {
+		t.Errorf("pending = %d, want 1", n)
+	}
+}

@@ -1,0 +1,452 @@
+// Package hypervisor implements the I/O-GUARD hardware hypervisor of
+// Sec. III (Jiang et al., DAC'21): per connected I/O device, a
+// virtualization manager decides the execution order of I/O tasks
+// (P-channel for pre-defined tasks driven by the Time Slot Table,
+// R-channel for run-time tasks under the two-layer preemptive-EDF
+// scheduler), and a virtualization driver translates operations for
+// the device's controller with bounded latency.
+//
+// The manager executes at time-slot granularity: one slot of the
+// shared I/O device is granted per Step, preemption happens at slot
+// boundaries, and the response channel is pass-through.
+package hypervisor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ioguard/internal/queue"
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+// Mode selects the global scheduler's policy for free slots.
+type Mode uint8
+
+// Global scheduling modes.
+const (
+	// ServerEDF is the paper's two-layer design: free slots are
+	// allocated to per-VM periodic servers Γi=(Πi,Θi) by EDF on
+	// server deadlines; the granted VM runs its earliest-deadline job.
+	ServerEDF Mode = iota
+	// DirectEDF skips the server layer: free slots go to the
+	// globally earliest deadline across all shadow registers. Used
+	// for ablation; it maximizes raw schedulability but gives up the
+	// per-VM bandwidth isolation of the servers.
+	DirectEDF
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ServerEDF:
+		return "server-edf"
+	case DirectEDF:
+		return "direct-edf"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes one virtualization manager.
+type Config struct {
+	VMs          int         // number of I/O pools
+	PoolCapacity int         // per-pool priority-queue depth; ≤0 = unbounded
+	Table        *slot.Table // σ*: nil means an all-free table of length 1
+	Servers      []task.Server
+	Mode         Mode
+	// WorkConserving lets the R-channel reclaim table slots whose
+	// pre-defined task has no pending work. The paper's design is
+	// non-work-conserving (run-time tasks execute only "when the
+	// pre-defined tasks are not occupying the I/O"); the flag exists
+	// for the ablation benchmarks.
+	WorkConserving bool
+	// ReqLatency is the bounded request-path cost: I/O driver forward
+	// plus request translator (Sec. III-B), in slots.
+	ReqLatency slot.Time
+	// RespLatency is the bounded response-path cost (pass-through
+	// response channel plus response translator), in slots.
+	RespLatency slot.Time
+}
+
+// Stats aggregates one manager's execution counters.
+type Stats struct {
+	PSlotsUsed  int64 // table-owned slots that executed their task
+	PSlotsIdle  int64 // table-owned slots whose task had no work
+	RSlotsUsed  int64 // free slots granted to run-time jobs
+	SlotsIdle   int64 // slots with no work at all
+	Reclaimed   int64 // table slots reclaimed by the R-channel
+	Completed   int64 // jobs finished (both channels)
+	Preemptions int64 // job switches while the previous job was unfinished
+	Dropped     int64 // run-time jobs rejected at full pools
+	BytesServed int64 // payload bytes of completed jobs
+}
+
+// VMStats aggregates one VM's R-channel counters, the per-tenant view
+// of the hardware isolation (each VM can audit its own pool).
+type VMStats struct {
+	Admitted  int64 // jobs that entered the VM's I/O pool
+	Completed int64 // jobs finished through the R-channel
+	Dropped   int64 // jobs rejected at the full pool
+	SlotsUsed int64 // device slots granted to this VM
+}
+
+// preTask is one pre-defined task registered with the P-channel.
+type preTask struct {
+	spec        *task.Sporadic
+	id          slot.TaskID
+	offset      slot.Time
+	nextRelease slot.Time
+	started     bool // nextRelease fast-forwarded to the current time
+	seq         int
+	pending     *queue.FIFO[*task.Job] // released, unfinished jobs (in order)
+}
+
+// serverState is the run-time state of one periodic server.
+type serverState struct {
+	cfg      task.Server
+	budget   slot.Time
+	deadline slot.Time // absolute deadline of the current period
+}
+
+// delivery is a job travelling the request path toward its pool.
+type delivery struct {
+	at  slot.Time
+	job *task.Job
+}
+
+// Manager is one device's virtualization manager. It implements
+// sim.Stepper: call Step exactly once per slot.
+type Manager struct {
+	cfg     Config
+	pools   []*Pool
+	servers []*serverState
+	pre     map[slot.TaskID]*preTask
+	preIDs  []slot.TaskID // deterministic iteration order
+	inbox   *queue.FIFO[delivery]
+	stats   Stats
+	vmStats []VMStats
+	lastJob *task.Job
+	adm     *admission
+
+	// OnComplete, when non-nil, receives every finished job after the
+	// response path: at is the slot at which the requester observes
+	// completion. The job's Finish field holds the raw execution
+	// completion; deadline accounting uses at.
+	OnComplete func(j *task.Job, at slot.Time)
+	// OnExecute, when non-nil, is called for every slot granted to a
+	// job (both channels) before the slot executes. Used by tracing.
+	OnExecute func(now slot.Time, j *task.Job)
+}
+
+// New builds a manager. Servers are required in ServerEDF mode and
+// must reference VMs within range, at most one per VM.
+func New(cfg Config) (*Manager, error) {
+	if cfg.VMs <= 0 {
+		return nil, errors.New("hypervisor: need at least one VM")
+	}
+	if cfg.Table == nil {
+		cfg.Table = slot.NewTable(1)
+	}
+	if cfg.ReqLatency < 0 || cfg.RespLatency < 0 {
+		return nil, errors.New("hypervisor: negative path latency")
+	}
+	m := &Manager{
+		cfg:   cfg,
+		pre:   make(map[slot.TaskID]*preTask),
+		inbox: queue.NewFIFO[delivery](0),
+	}
+	m.vmStats = make([]VMStats, cfg.VMs)
+	for vm := 0; vm < cfg.VMs; vm++ {
+		m.pools = append(m.pools, NewPool(vm, cfg.PoolCapacity))
+	}
+	if cfg.Mode == ServerEDF {
+		seen := make(map[int]bool)
+		for _, s := range cfg.Servers {
+			if err := s.Validate(); err != nil {
+				return nil, err
+			}
+			if s.VM >= cfg.VMs {
+				return nil, fmt.Errorf("hypervisor: server for vm %d out of range (%d VMs)", s.VM, cfg.VMs)
+			}
+			if seen[s.VM] {
+				return nil, fmt.Errorf("hypervisor: duplicate server for vm %d", s.VM)
+			}
+			seen[s.VM] = true
+			m.servers = append(m.servers, &serverState{cfg: s, budget: s.Budget, deadline: s.Period})
+		}
+		sort.Slice(m.servers, func(i, j int) bool { return m.servers[i].cfg.VM < m.servers[j].cfg.VM })
+	}
+	return m, nil
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the execution counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// BankBytes estimates the P-channel memory-bank usage: the Time Slot
+// Table entries plus each pre-defined task's descriptor and timing
+// record (task parameters, start times, WCET — the "timing
+// information" of Sec. III-A). Feeds the RAM column of the hardware
+// model.
+func (m *Manager) BankBytes() int {
+	const (
+		tableEntryBytes = 2  // task id per slot
+		descriptorBytes = 32 // period, wcet, deadline, offset, device op
+	)
+	return m.cfg.Table.Len()*tableEntryBytes + len(m.pre)*descriptorBytes
+}
+
+// VMStats returns one VM's R-channel counters.
+func (m *Manager) VMStats(vm int) (VMStats, error) {
+	if vm < 0 || vm >= len(m.vmStats) {
+		return VMStats{}, fmt.Errorf("hypervisor: vm %d out of range", vm)
+	}
+	return m.vmStats[vm], nil
+}
+
+// Pool returns the I/O pool of the given VM.
+func (m *Manager) Pool(vm int) (*Pool, error) {
+	if vm < 0 || vm >= len(m.pools) {
+		return nil, fmt.Errorf("hypervisor: vm %d out of range", vm)
+	}
+	return m.pools[vm], nil
+}
+
+// Preload registers a pre-defined task with the P-channel. The task
+// must already own slots in the manager's Time Slot Table under id
+// (built with slot.Build); the manager releases its jobs periodically
+// from offset and executes them in the owned slots.
+func (m *Manager) Preload(spec *task.Sporadic, id slot.TaskID, offset slot.Time) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if _, dup := m.pre[id]; dup {
+		return fmt.Errorf("hypervisor: pre-defined task %d already loaded", id)
+	}
+	owned := slot.Time(0)
+	for i := 0; i < m.cfg.Table.Len(); i++ {
+		if m.cfg.Table.Owner(slot.Time(i)) == id {
+			owned++
+		}
+	}
+	if owned == 0 {
+		return fmt.Errorf("hypervisor: task %d owns no slot in the table", id)
+	}
+	m.pre[id] = &preTask{
+		spec:        spec,
+		id:          id,
+		offset:      offset,
+		nextRelease: offset,
+		pending:     queue.NewFIFO[*task.Job](0),
+	}
+	m.preIDs = append(m.preIDs, id)
+	sort.Slice(m.preIDs, func(i, j int) bool { return m.preIDs[i] < m.preIDs[j] })
+	return nil
+}
+
+// Submit hands a run-time I/O job to the hypervisor at slot now. The
+// job reaches its VM's pool after the bounded request path latency.
+// Jobs for out-of-range VMs are dropped and counted.
+func (m *Manager) Submit(now slot.Time, j *task.Job) {
+	if j.Task.VM < 0 || j.Task.VM >= len(m.pools) {
+		m.stats.Dropped++
+		return
+	}
+	if !m.admitted(j) {
+		m.stats.Dropped++
+		return
+	}
+	m.inbox.Push(delivery{at: now + m.cfg.ReqLatency, job: j})
+}
+
+// PendingJobs visits every job currently buffered anywhere in the
+// manager (pools, request path, P-channel backlog).
+func (m *Manager) PendingJobs(visit func(j *task.Job)) {
+	for _, p := range m.pools {
+		p.Each(visit)
+	}
+	m.inbox.Each(func(d delivery) { visit(d.job) })
+	for _, id := range m.preIDs {
+		m.pre[id].pending.Each(func(j *task.Job) { visit(j) })
+	}
+}
+
+// Step advances the manager one slot:
+//  1. deliver due request-path jobs into their pools,
+//  2. release due jobs of pre-defined tasks,
+//  3. refresh the local schedulers' shadow registers,
+//  4. replenish server budgets at period boundaries,
+//  5. run the executor for this slot (P-channel owner or G-Sched pick).
+func (m *Manager) Step(now slot.Time) {
+	for {
+		d, ok := m.inbox.Peek()
+		if !ok || d.at > now {
+			break
+		}
+		m.inbox.Pop()
+		if m.pools[d.job.Task.VM].Admit(d.job) {
+			m.vmStats[d.job.Task.VM].Admitted++
+		} else {
+			m.stats.Dropped++
+			m.vmStats[d.job.Task.VM].Dropped++
+		}
+	}
+	for _, id := range m.preIDs {
+		pt := m.pre[id]
+		if !pt.started {
+			// A task loaded mid-run starts at its next table-aligned
+			// release; it must not back-fill jobs from before it was
+			// loaded.
+			for pt.nextRelease < now {
+				pt.nextRelease += pt.spec.Period
+			}
+			pt.started = true
+		}
+		for pt.nextRelease <= now {
+			pt.pending.Push(task.NewJob(pt.spec, pt.seq, pt.nextRelease))
+			pt.seq++
+			pt.nextRelease += pt.spec.Period
+		}
+	}
+	for _, p := range m.pools {
+		p.Schedule()
+	}
+	for _, s := range m.servers {
+		if now%s.cfg.Period == 0 {
+			s.budget = s.cfg.Budget
+			s.deadline = now + s.cfg.Period
+		}
+	}
+	m.execute(now)
+}
+
+// execute grants this slot to at most one job.
+func (m *Manager) execute(now slot.Time) {
+	if owner := m.cfg.Table.Owner(now); owner != slot.Free {
+		pt := m.pre[owner]
+		if pt != nil {
+			if j, ok := pt.pending.Peek(); ok {
+				m.runPre(now, pt, j)
+				return
+			}
+		}
+		// Owned slot with no pending work.
+		if !m.cfg.WorkConserving {
+			m.stats.PSlotsIdle++
+			m.lastJob = nil
+			return
+		}
+		if m.runRChannel(now) {
+			m.stats.Reclaimed++
+		} else {
+			m.stats.PSlotsIdle++
+		}
+		return
+	}
+	if !m.runRChannel(now) {
+		m.stats.SlotsIdle++
+	}
+}
+
+// runPre executes one slot of a P-channel job.
+func (m *Manager) runPre(now slot.Time, pt *preTask, j *task.Job) {
+	m.account(j)
+	m.notifyExecute(now, j)
+	j.Tick(now)
+	m.stats.PSlotsUsed++
+	if j.Done() {
+		pt.pending.Pop()
+		m.complete(j)
+	}
+}
+
+// runRChannel lets the global scheduler grant the slot to one VM's
+// shadow-register job. It reports whether any job ran.
+func (m *Manager) runRChannel(now slot.Time) bool {
+	var pick *Pool
+	switch m.cfg.Mode {
+	case ServerEDF:
+		// Strict polling periodic server: the slot belongs to the
+		// earliest-deadline server with remaining budget, and the
+		// budget drains whether or not the VM has pending work. This
+		// realizes exactly the periodic resource model of Sec. IV-B
+		// (supply to VM i = the slots where Γi is scheduled), keeping
+		// the simulation inside the analysis' guarantees. A deferring
+		// or slot-stealing variant would be more work-conserving but
+		// voids Theorems 1/3 in corner cases.
+		var best *serverState
+		for _, s := range m.servers {
+			if s.budget <= 0 {
+				continue
+			}
+			if best == nil || s.deadline < best.deadline {
+				best = s
+			}
+		}
+		if best == nil {
+			return false
+		}
+		best.budget--
+		if _, _, ok := m.pools[best.cfg.VM].Shadow(); !ok {
+			return false // the granted VM is idle; its slot is wasted
+		}
+		pick = m.pools[best.cfg.VM]
+	case DirectEDF:
+		bestD := slot.Never
+		for _, p := range m.pools {
+			d, _, ok := p.Shadow()
+			if !ok {
+				continue
+			}
+			if d < bestD {
+				bestD = d
+				pick = p
+			}
+		}
+		if pick == nil {
+			return false
+		}
+	}
+	_, j, _ := pick.Shadow()
+	m.account(j)
+	m.notifyExecute(now, j)
+	j.Tick(now)
+	m.stats.RSlotsUsed++
+	m.vmStats[pick.VM()].SlotsUsed++
+	if j.Done() {
+		if err := pick.Remove(j); err != nil {
+			panic(err) // invariant: shadow job is always pool-resident
+		}
+		m.vmStats[pick.VM()].Completed++
+		m.complete(j)
+	}
+	return true
+}
+
+// account tracks preemptions: a switch away from an unfinished job.
+func (m *Manager) account(j *task.Job) {
+	if m.lastJob != nil && m.lastJob != j && !m.lastJob.Done() {
+		m.stats.Preemptions++
+	}
+	m.lastJob = j
+}
+
+// notifyExecute fires the tracing hook for one granted slot.
+func (m *Manager) notifyExecute(now slot.Time, j *task.Job) {
+	if m.OnExecute != nil {
+		m.OnExecute(now, j)
+	}
+}
+
+// complete retires a finished job through the response path.
+func (m *Manager) complete(j *task.Job) {
+	m.stats.Completed++
+	m.stats.BytesServed += int64(j.Task.OpBytes)
+	if m.OnComplete != nil {
+		m.OnComplete(j, j.Finish+m.cfg.RespLatency)
+	}
+}

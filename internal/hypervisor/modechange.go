@@ -1,0 +1,66 @@
+// Mode changes: hot-adding and retiring pre-defined tasks on a live
+// manager. The paper loads the Time Slot Table once at system
+// initialization (Sec. II-B); deployed systems switch operating modes,
+// so the manager also supports allocating table slots for a new
+// pre-defined task at run time (using only free slots — existing
+// reservations are never disturbed) and releasing a retired one.
+package hypervisor
+
+import (
+	"fmt"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+// LoadPre allocates table slots for spec at run time and registers it
+// with the P-channel. The task's period must divide the table length.
+// Existing reservations and R-channel state are untouched; on any
+// failure the table is left unchanged.
+func (m *Manager) LoadPre(spec *task.Sporadic, id slot.TaskID, offset slot.Time) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if _, dup := m.pre[id]; dup {
+		return fmt.Errorf("hypervisor: pre-defined task %d already loaded", id)
+	}
+	_, err := m.cfg.Table.AllocatePeriodic(slot.Requirement{
+		ID:       id,
+		Period:   spec.Period,
+		WCET:     spec.WCET,
+		Deadline: spec.Deadline,
+		Offset:   offset,
+	})
+	if err != nil {
+		return err
+	}
+	if err := m.Preload(spec, id, offset); err != nil {
+		m.cfg.Table.Release(id)
+		return err
+	}
+	return nil
+}
+
+// UnloadPre retires a pre-defined task: its pending jobs are dropped,
+// its registration removed, and its table slots freed for the
+// R-channel.
+func (m *Manager) UnloadPre(id slot.TaskID) error {
+	pt, ok := m.pre[id]
+	if !ok {
+		return fmt.Errorf("hypervisor: pre-defined task %d not loaded", id)
+	}
+	for {
+		if _, ok := pt.pending.Pop(); !ok {
+			break
+		}
+	}
+	delete(m.pre, id)
+	for i, pid := range m.preIDs {
+		if pid == id {
+			m.preIDs = append(m.preIDs[:i:i], m.preIDs[i+1:]...)
+			break
+		}
+	}
+	m.cfg.Table.Release(id)
+	return nil
+}

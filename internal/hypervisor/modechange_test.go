@@ -1,0 +1,126 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+func TestLoadPreAtRuntime(t *testing.T) {
+	m, err := New(Config{VMs: 1, Table: slot.NewTable(16), Mode: DirectEDF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log completionLog
+	m.OnComplete = log.hook()
+	// Run a while with an empty system.
+	for now := slot.Time(0); now < 20; now++ {
+		m.Step(now)
+	}
+	spec := &task.Sporadic{ID: 1, Name: "hot", VM: 0, Period: 8, WCET: 2, Deadline: 8}
+	if err := m.LoadPre(spec, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for now := slot.Time(20); now < 100; now++ {
+		m.Step(now)
+	}
+	// Releases resume at the next aligned point (24, 32, ...): the
+	// task must not back-fill jobs from slots 0-16.
+	if len(log.jobs) == 0 {
+		t.Fatal("hot-loaded task never ran")
+	}
+	if log.jobs[0].Release < 20 {
+		t.Errorf("first release %d back-filled before load time", log.jobs[0].Release)
+	}
+	if log.misses() != 0 {
+		t.Errorf("hot-loaded task missed %d deadlines", log.misses())
+	}
+}
+
+func TestLoadPreRejectsConflicts(t *testing.T) {
+	tab := slot.NewTable(16)
+	m, _ := New(Config{VMs: 1, Table: tab, Mode: DirectEDF})
+	spec := &task.Sporadic{ID: 1, VM: 0, Period: 8, WCET: 2, Deadline: 8}
+	if err := m.LoadPre(spec, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadPre(spec, 0, 0); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	bad := &task.Sporadic{ID: 2, VM: 0, Period: 0, WCET: 1, Deadline: 1}
+	if err := m.LoadPre(bad, 1, 0); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	odd := &task.Sporadic{ID: 3, VM: 0, Period: 5, WCET: 1, Deadline: 5}
+	if err := m.LoadPre(odd, 2, 0); err == nil {
+		t.Error("non-dividing period accepted")
+	}
+	// Fill the remaining bandwidth so the next allocation fails and
+	// must not leak slots.
+	hog := &task.Sporadic{ID: 4, VM: 0, Period: 8, WCET: 6, Deadline: 8}
+	if err := m.LoadPre(hog, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	free := tab.FreeCount()
+	full := &task.Sporadic{ID: 5, VM: 0, Period: 8, WCET: 2, Deadline: 8}
+	if err := m.LoadPre(full, 4, 0); err == nil {
+		t.Error("infeasible load accepted")
+	}
+	if tab.FreeCount() != free {
+		t.Errorf("failed load leaked table slots: %d → %d", free, tab.FreeCount())
+	}
+}
+
+func TestUnloadPreFreesEverything(t *testing.T) {
+	tab := slot.NewTable(16)
+	m, _ := New(Config{VMs: 1, Table: tab, Mode: DirectEDF})
+	spec := &task.Sporadic{ID: 1, VM: 0, Period: 8, WCET: 4, Deadline: 8}
+	if err := m.LoadPre(spec, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Step(0) // release one job
+	if err := m.UnloadPre(0); err != nil {
+		t.Fatal(err)
+	}
+	if tab.FreeCount() != 16 {
+		t.Errorf("table not fully freed: %d", tab.FreeCount())
+	}
+	n := 0
+	m.PendingJobs(func(*task.Job) { n++ })
+	if n != 0 {
+		t.Errorf("pending jobs leaked: %d", n)
+	}
+	if err := m.UnloadPre(0); err == nil {
+		t.Error("double unload accepted")
+	}
+	// The freed slots are immediately available to the R-channel.
+	rt := &task.Sporadic{ID: 9, VM: 0, Period: 100, WCET: 4, Deadline: 100}
+	var log completionLog
+	m.OnComplete = log.hook()
+	m.Submit(1, task.NewJob(rt, 0, 1))
+	for now := slot.Time(1); now < 10; now++ {
+		m.Step(now)
+	}
+	if len(log.jobs) != 1 {
+		t.Error("R-channel did not reclaim the freed slots")
+	}
+}
+
+func TestModeChangeCycle(t *testing.T) {
+	// Load/unload repeatedly; table must return to fully free.
+	tab := slot.NewTable(32)
+	m, _ := New(Config{VMs: 1, Table: tab, Mode: DirectEDF})
+	for cycle := 0; cycle < 10; cycle++ {
+		spec := &task.Sporadic{ID: cycle, VM: 0, Period: 16, WCET: 3, Deadline: 16}
+		if err := m.LoadPre(spec, slot.TaskID(cycle), slot.Time(cycle)%16); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if err := m.UnloadPre(slot.TaskID(cycle)); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+	if tab.FreeCount() != 32 {
+		t.Errorf("table leaked slots across mode changes: free=%d", tab.FreeCount())
+	}
+}

@@ -1,0 +1,83 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"ioguard/internal/task"
+)
+
+func TestPoolAdmitAndShadow(t *testing.T) {
+	p := NewPool(0, 0)
+	if p.VM() != 0 || p.Len() != 0 {
+		t.Fatal("new pool state wrong")
+	}
+	tk := &task.Sporadic{ID: 0, VM: 0, Period: 10, WCET: 2, Deadline: 8}
+	j1 := task.NewJob(tk, 0, 0)  // deadline 8
+	j2 := task.NewJob(tk, 1, 10) // deadline 18
+	if !p.Admit(j2) || !p.Admit(j1) {
+		t.Fatal("admit failed")
+	}
+	p.Schedule()
+	d, j, ok := p.Shadow()
+	if !ok || j != j1 || d != 8 {
+		t.Errorf("shadow = %v/%d, want j1/8", j, d)
+	}
+}
+
+func TestPoolShadowEmptyAfterRemoveAll(t *testing.T) {
+	p := NewPool(1, 0)
+	tk := &task.Sporadic{ID: 0, VM: 1, Period: 10, WCET: 2, Deadline: 8}
+	j := task.NewJob(tk, 0, 0)
+	p.Admit(j)
+	p.Schedule()
+	if err := p.Remove(j); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := p.Shadow(); ok {
+		t.Error("shadow should be clear after removing the only job")
+	}
+	if err := p.Remove(j); err == nil {
+		t.Error("double remove should error")
+	}
+}
+
+func TestPoolRemoveRefreshesShadow(t *testing.T) {
+	p := NewPool(0, 0)
+	tk := &task.Sporadic{ID: 0, VM: 0, Period: 10, WCET: 2, Deadline: 8}
+	j1 := task.NewJob(tk, 0, 0)
+	j2 := task.NewJob(tk, 1, 4)
+	p.Admit(j1)
+	p.Admit(j2)
+	p.Schedule()
+	p.Remove(j1)
+	_, j, ok := p.Shadow()
+	if !ok || j != j2 {
+		t.Error("shadow should refresh to next job after remove")
+	}
+}
+
+func TestPoolCapacityDrops(t *testing.T) {
+	p := NewPool(0, 1)
+	tk := &task.Sporadic{ID: 0, VM: 0, Period: 10, WCET: 2, Deadline: 8}
+	if !p.Admit(task.NewJob(tk, 0, 0)) {
+		t.Fatal("first admit failed")
+	}
+	if p.Admit(task.NewJob(tk, 1, 1)) {
+		t.Error("admit above capacity should fail")
+	}
+	if p.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", p.Dropped())
+	}
+}
+
+func TestPoolEach(t *testing.T) {
+	p := NewPool(0, 0)
+	tk := &task.Sporadic{ID: 0, VM: 0, Period: 10, WCET: 2, Deadline: 8}
+	p.Admit(task.NewJob(tk, 0, 0))
+	p.Admit(task.NewJob(tk, 1, 1))
+	n := 0
+	p.Each(func(j *task.Job) { n++ })
+	if n != 2 {
+		t.Errorf("Each visited %d, want 2", n)
+	}
+}

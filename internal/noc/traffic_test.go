@@ -1,0 +1,125 @@
+package noc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ioguard/internal/packet"
+	"ioguard/internal/slot"
+)
+
+func TestPatternString(t *testing.T) {
+	if Uniform.String() != "uniform" || Hotspot.String() != "hotspot" || Transpose.String() != "transpose" {
+		t.Error("pattern names wrong")
+	}
+	if !strings.Contains(Pattern(9).String(), "9") {
+		t.Error("unknown pattern should show numerically")
+	}
+}
+
+func TestNewTrafficValidation(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewTraffic(nil, Uniform, 0.1, 8, rng); err == nil {
+		t.Error("nil mesh accepted")
+	}
+	if _, err := NewTraffic(m, Uniform, 0.1, 8, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewTraffic(m, Uniform, 0, 8, rng); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewTraffic(m, Uniform, 1.5, 8, rng); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if _, err := NewTraffic(m, Uniform, 0.1, -1, rng); err == nil {
+		t.Error("negative payload accepted")
+	}
+}
+
+func TestUniformTrafficInjects(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	tr, err := NewTraffic(m, Uniform, 0.2, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := slot.Time(0); now < 200; now++ {
+		tr.Step(now)
+		m.Step(now)
+	}
+	st := m.Stats()
+	// Expectation: 25 nodes × 0.2 × 200 = 1000 injections; allow wide
+	// slack for randomness.
+	if st.Injected < 600 || st.Injected > 1400 {
+		t.Errorf("Injected = %d, want ≈1000", st.Injected)
+	}
+	if st.Delivered == 0 {
+		t.Error("nothing delivered")
+	}
+}
+
+func TestHotspotTrafficConverges(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(3))
+	tr, _ := NewTraffic(m, Hotspot, 0.3, 8, rng)
+	hot := m.NodeAt(Coord{X: 0, Y: 0})
+	tr.SetHotspot(hot)
+	other := 0
+	m.OnDeliver = func(p *packet.Packet, injected, now slot.Time) {
+		if p.Dst != hot {
+			other++
+		}
+	}
+	for now := slot.Time(0); now < 300; now++ {
+		tr.Step(now)
+		m.Step(now)
+	}
+	if other != 0 {
+		t.Errorf("%d packets delivered off-hotspot", other)
+	}
+	if m.Stats().Delivered == 0 {
+		t.Error("hotspot received nothing")
+	}
+}
+
+func TestTransposeTraffic(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(4))
+	tr, _ := NewTraffic(m, Transpose, 0.5, 4, rng)
+	bad := 0
+	m.OnDeliver = func(p *packet.Packet, injected, now slot.Time) {
+		src, dst := m.CoordOf(p.Src), m.CoordOf(p.Dst)
+		if dst.X != src.Y || dst.Y != src.X {
+			bad++
+		}
+	}
+	for now := slot.Time(0); now < 100; now++ {
+		tr.Step(now)
+		m.Step(now)
+	}
+	if bad != 0 {
+		t.Errorf("%d packets broke the transpose mapping", bad)
+	}
+}
+
+func TestHotspotSlowerThanTranspose(t *testing.T) {
+	// Under equal rates, converging hotspot traffic must see higher
+	// average latency than the disjoint transpose permutation — the
+	// FIFO arbitration contention the paper's Sec. I describes.
+	lat := func(p Pattern) float64 {
+		m, _ := New(DefaultConfig())
+		rng := rand.New(rand.NewSource(5))
+		tr, _ := NewTraffic(m, p, 0.15, 16, rng)
+		for now := slot.Time(0); now < 2000; now++ {
+			tr.Step(now)
+			m.Step(now)
+		}
+		return m.Stats().AvgDelay()
+	}
+	hot, trans := lat(Hotspot), lat(Transpose)
+	if hot <= trans {
+		t.Errorf("hotspot latency %.1f should exceed transpose %.1f", hot, trans)
+	}
+}

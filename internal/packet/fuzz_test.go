@@ -1,0 +1,29 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hammers the wire decoder: it must never panic, and any
+// buffer it accepts must re-encode to the identical bytes.
+func FuzzDecode(f *testing.F) {
+	p := New(Header{Src: 1, Dst: 2, VM: 3, Kind: Request, Op: Write, Task: 4, Seq: 5, Deadline: 6}, []byte("payload"))
+	seed, _ := p.Encode()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderBytes))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := got.Encode()
+		if err != nil {
+			t.Fatalf("decoded packet failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode/encode not a fixed point:\n in=%x\nout=%x", data, enc)
+		}
+	})
+}

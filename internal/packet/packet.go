@@ -1,0 +1,200 @@
+// Package packet implements the on-chip communication protocol the
+// I/O-GUARD reproduction uses to encapsulate (virtualized) I/O
+// requests and responses as packets (assumption (ii) of Sec. II,
+// following the BlueShell NoC protocol of Plumbridge [8]).
+//
+// A packet is a fixed-size header followed by an optional payload. On
+// the wire (and across the simulated NoC) packets are transmitted as
+// flits of a configurable width; the header occupies the first flits.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ioguard/internal/slot"
+)
+
+// Kind discriminates the packet classes that traverse the NoC.
+type Kind uint8
+
+// Packet kinds.
+const (
+	Request  Kind = iota + 1 // processor → hypervisor/IO: perform an I/O operation
+	Response                 // IO → processor: data or completion status
+	Control                  // system management (e.g. P-channel table load)
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case Request:
+		return "request"
+	case Response:
+		return "response"
+	case Control:
+		return "control"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Op is the I/O operation requested by a packet.
+type Op uint8
+
+// I/O operations.
+const (
+	Read   Op = iota + 1 // read from the device into the response payload
+	Write                // write the request payload to the device
+	Config               // device configuration access
+)
+
+// String returns the lowercase operation name.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Config:
+		return "config"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// NodeID addresses a NoC tile (processor, hypervisor port or I/O).
+type NodeID uint16
+
+// HeaderBytes is the encoded size of a packet header.
+const HeaderBytes = 24
+
+// Header carries the routing and virtualization metadata of a packet.
+// Deadline is the absolute deadline of the I/O job the packet belongs
+// to; the hypervisor's schedulers read it from the priority-queue
+// parameter slot.
+type Header struct {
+	Src      NodeID
+	Dst      NodeID
+	VM       uint8  // issuing virtual machine
+	Kind     Kind   //
+	Op       Op     //
+	Task     uint16 // task ID within the VM
+	Seq      uint32 // job sequence number
+	Len      uint16 // payload length in bytes
+	Deadline slot.Time
+}
+
+// Packet is a header plus payload.
+type Packet struct {
+	Header
+	Payload []byte
+}
+
+// New builds a packet, setting Len from the payload.
+func New(h Header, payload []byte) *Packet {
+	h.Len = uint16(len(payload))
+	return &Packet{Header: h, Payload: payload}
+}
+
+// Validate checks internal consistency.
+func (p *Packet) Validate() error {
+	switch {
+	case p.Kind < Request || p.Kind > Control:
+		return fmt.Errorf("packet: invalid kind %d", p.Kind)
+	case p.Op < Read || p.Op > Config:
+		return fmt.Errorf("packet: invalid op %d", p.Op)
+	case int(p.Len) != len(p.Payload):
+		return fmt.Errorf("packet: len field %d ≠ payload %d", p.Len, len(p.Payload))
+	case p.Deadline < 0:
+		return errors.New("packet: negative deadline")
+	}
+	return nil
+}
+
+// Size returns the encoded size in bytes (header + payload).
+func (p *Packet) Size() int { return HeaderBytes + len(p.Payload) }
+
+// Flits returns how many flits of flitBytes each are needed to carry
+// the packet across the NoC (wormhole switching). It is at least 1.
+func (p *Packet) Flits(flitBytes int) int {
+	if flitBytes <= 0 {
+		flitBytes = 4
+	}
+	n := (p.Size() + flitBytes - 1) / flitBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Encode serializes the packet (big-endian header, raw payload).
+func (p *Packet) Encode() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, HeaderBytes+len(p.Payload))
+	binary.BigEndian.PutUint16(buf[0:], uint16(p.Src))
+	binary.BigEndian.PutUint16(buf[2:], uint16(p.Dst))
+	buf[4] = p.VM
+	buf[5] = uint8(p.Kind)
+	buf[6] = uint8(p.Op)
+	// buf[7] reserved
+	binary.BigEndian.PutUint16(buf[8:], p.Task)
+	binary.BigEndian.PutUint32(buf[10:], p.Seq)
+	binary.BigEndian.PutUint16(buf[14:], p.Len)
+	binary.BigEndian.PutUint64(buf[16:], uint64(p.Deadline))
+	copy(buf[HeaderBytes:], p.Payload)
+	return buf, nil
+}
+
+// Decode parses an encoded packet.
+func Decode(buf []byte) (*Packet, error) {
+	if len(buf) < HeaderBytes {
+		return nil, fmt.Errorf("packet: short buffer %d < %d", len(buf), HeaderBytes)
+	}
+	if buf[7] != 0 {
+		return nil, fmt.Errorf("packet: reserved header byte is %#x, want 0", buf[7])
+	}
+	p := &Packet{Header: Header{
+		Src:      NodeID(binary.BigEndian.Uint16(buf[0:])),
+		Dst:      NodeID(binary.BigEndian.Uint16(buf[2:])),
+		VM:       buf[4],
+		Kind:     Kind(buf[5]),
+		Op:       Op(buf[6]),
+		Task:     binary.BigEndian.Uint16(buf[8:]),
+		Seq:      binary.BigEndian.Uint32(buf[10:]),
+		Len:      binary.BigEndian.Uint16(buf[14:]),
+		Deadline: slot.Time(binary.BigEndian.Uint64(buf[16:])),
+	}}
+	if len(buf) != HeaderBytes+int(p.Len) {
+		return nil, fmt.Errorf("packet: buffer %d ≠ header+payload %d", len(buf), HeaderBytes+int(p.Len))
+	}
+	p.Payload = append([]byte(nil), buf[HeaderBytes:]...)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ResponseTo builds the response packet for a request: source and
+// destination swapped, same VM/task/seq, the given payload.
+func ResponseTo(req *Packet, payload []byte) *Packet {
+	return New(Header{
+		Src:      req.Dst,
+		Dst:      req.Src,
+		VM:       req.VM,
+		Kind:     Response,
+		Op:       req.Op,
+		Task:     req.Task,
+		Seq:      req.Seq,
+		Deadline: req.Deadline,
+	}, payload)
+}
+
+// String renders the packet for traces.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s{%d→%d vm%d τ%d#%d %s %dB d=%d}",
+		p.Kind, p.Src, p.Dst, p.VM, p.Task, p.Seq, p.Op, p.Len, p.Deadline)
+}

@@ -1,0 +1,59 @@
+package packet
+
+import (
+	"testing"
+
+	"ioguard/internal/slot"
+)
+
+// TestLenFieldBoundary documents the 64 KB payload ceiling of the
+// 16-bit length field: oversized payloads are rejected by Validate
+// (the Len field wraps and no longer matches), never silently
+// truncated on the wire.
+func TestLenFieldBoundary(t *testing.T) {
+	max := New(Header{Kind: Request, Op: Write}, make([]byte, 65535))
+	if err := max.Validate(); err != nil {
+		t.Errorf("65535-byte payload should be valid: %v", err)
+	}
+	over := New(Header{Kind: Request, Op: Write}, make([]byte, 65536))
+	if err := over.Validate(); err == nil {
+		t.Error("payload beyond the Len field accepted")
+	}
+}
+
+func TestHeaderFieldBoundaries(t *testing.T) {
+	p := New(Header{
+		Src: 65535, Dst: 65535, VM: 255, Kind: Control, Op: Config,
+		Task: 65535, Seq: 4294967295, Deadline: slot.Time(1) << 62,
+	}, nil)
+	buf, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != p.Header {
+		t.Errorf("boundary header mangled:\n%+v\n%+v", got.Header, p.Header)
+	}
+}
+
+func TestDecodeRejectsReservedByte(t *testing.T) {
+	p := New(Header{Kind: Request, Op: Read}, nil)
+	buf, _ := p.Encode()
+	buf[7] = 1
+	if _, err := Decode(buf); err == nil {
+		t.Error("nonzero reserved byte accepted")
+	}
+}
+
+func TestFlitsMatchesSizeExactly(t *testing.T) {
+	for _, payload := range []int{0, 1, 4, 63, 64, 65} {
+		p := New(Header{Kind: Request, Op: Write}, make([]byte, payload))
+		want := (p.Size() + 3) / 4
+		if got := p.Flits(4); got != want {
+			t.Errorf("payload %d: flits = %d, want %d", payload, got, want)
+		}
+	}
+}

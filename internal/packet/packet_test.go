@@ -1,0 +1,172 @@
+package packet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ioguard/internal/slot"
+)
+
+func sample() *Packet {
+	return New(Header{
+		Src: 3, Dst: 17, VM: 2, Kind: Request, Op: Write,
+		Task: 9, Seq: 1234, Deadline: 5000,
+	}, []byte("hello io"))
+}
+
+func TestKindOpStrings(t *testing.T) {
+	if Request.String() != "request" || Response.String() != "response" || Control.String() != "control" {
+		t.Error("kind names wrong")
+	}
+	if Read.String() != "read" || Write.String() != "write" || Config.String() != "config" {
+		t.Error("op names wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") || !strings.Contains(Op(99).String(), "99") {
+		t.Error("unknown values should show numerically")
+	}
+}
+
+func TestNewSetsLen(t *testing.T) {
+	p := sample()
+	if int(p.Len) != len(p.Payload) {
+		t.Errorf("Len = %d, payload = %d", p.Len, len(p.Payload))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Errorf("valid packet rejected: %v", err)
+	}
+	p := sample()
+	p.Kind = 0
+	if p.Validate() == nil {
+		t.Error("invalid kind accepted")
+	}
+	p = sample()
+	p.Op = 77
+	if p.Validate() == nil {
+		t.Error("invalid op accepted")
+	}
+	p = sample()
+	p.Len = 3
+	if p.Validate() == nil {
+		t.Error("len mismatch accepted")
+	}
+	p = sample()
+	p.Deadline = -1
+	if p.Validate() == nil {
+		t.Error("negative deadline accepted")
+	}
+}
+
+func TestSizeFlits(t *testing.T) {
+	p := sample() // 24 header + 8 payload = 32 bytes
+	if p.Size() != 32 {
+		t.Errorf("Size = %d, want 32", p.Size())
+	}
+	if got := p.Flits(4); got != 8 {
+		t.Errorf("Flits(4) = %d, want 8", got)
+	}
+	if got := p.Flits(16); got != 2 {
+		t.Errorf("Flits(16) = %d, want 2", got)
+	}
+	if got := p.Flits(0); got != 8 {
+		t.Errorf("Flits(0) should default to 4-byte flits: %d", got)
+	}
+	empty := New(Header{Kind: Request, Op: Read}, nil)
+	if empty.Flits(1024) != 1 {
+		t.Error("Flits must be at least 1")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := sample()
+	buf, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != p.Header {
+		t.Errorf("header mismatch: %+v vs %+v", got.Header, p.Header)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("payload mismatch")
+	}
+}
+
+func TestEncodeInvalid(t *testing.T) {
+	p := sample()
+	p.Kind = 0
+	if _, err := p.Encode(); err == nil {
+		t.Error("encoding invalid packet should fail")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, 5)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	p := sample()
+	buf, _ := p.Encode()
+	if _, err := Decode(buf[:len(buf)-2]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	buf[5] = 0 // invalid kind
+	if _, err := Decode(buf); err == nil {
+		t.Error("invalid kind in wire data accepted")
+	}
+}
+
+func TestResponseTo(t *testing.T) {
+	req := sample()
+	resp := ResponseTo(req, []byte{1, 2, 3})
+	if resp.Src != req.Dst || resp.Dst != req.Src {
+		t.Error("response should swap src/dst")
+	}
+	if resp.Kind != Response || resp.VM != req.VM || resp.Task != req.Task || resp.Seq != req.Seq {
+		t.Error("response metadata wrong")
+	}
+	if resp.Len != 3 {
+		t.Errorf("response Len = %d", resp.Len)
+	}
+	if resp.Deadline != req.Deadline {
+		t.Error("response must carry the job deadline")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "request") || !strings.Contains(s, "3→17") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint16, vm uint8, task uint16, seq uint32, deadline uint32, payload []byte) bool {
+		if len(payload) > 1024 {
+			payload = payload[:1024]
+		}
+		p := New(Header{
+			Src: NodeID(src), Dst: NodeID(dst), VM: vm,
+			Kind: Request, Op: Read, Task: task, Seq: seq,
+			Deadline: slot.Time(deadline),
+		}, payload)
+		buf, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		return got.Header == p.Header && bytes.Equal(got.Payload, p.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

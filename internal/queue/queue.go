@@ -1,0 +1,337 @@
+// Package queue implements the hardware queueing structures of the
+// I/O-GUARD hypervisor micro-architecture (Sec. III-A of Jiang et al.,
+// DAC'21) and of the baseline systems:
+//
+//   - PQ is the random-access priority queue used inside each
+//     R-channel I/O pool. Unlike a FIFO, every entry carries an extra
+//     register slot holding its scheduling parameters, and the queue
+//     supports random access so the local scheduler can re-prioritize
+//     and remove entries in place.
+//   - FIFO is the conventional bounded first-in/first-out queue found
+//     in traditional I/O controllers and the baseline systems; it
+//     forbids context switches at the hardware level.
+//   - Shadow is the one-entry shadow register that each I/O pool
+//     exposes to the global scheduler.
+package queue
+
+import (
+	"fmt"
+
+	"ioguard/internal/slot"
+)
+
+// Handle identifies an entry inside a PQ for random access. Handles
+// are never reused within one queue's lifetime.
+type Handle int64
+
+// node is one priority-queue entry together with its "additional slot"
+// of parameters (the deadline key used for EDF ordering).
+type node[T any] struct {
+	key    slot.Time // absolute deadline (EDF priority)
+	seq    int64     // insertion sequence, breaks ties FIFO
+	handle Handle
+	value  T
+	pos    int // index in the heap array
+}
+
+// PQ is a deadline-ordered random-access priority queue. The zero
+// value is not usable; call NewPQ. Min returns the entry with the
+// earliest deadline, ties broken by insertion order (matching the
+// deterministic hardware comparator tree).
+type PQ[T any] struct {
+	heap    []*node[T]
+	byH     map[Handle]*node[T]
+	nextH   Handle
+	nextSeq int64
+	cap     int // 0 = unbounded
+}
+
+// NewPQ returns an empty priority queue. capacity limits the number of
+// buffered entries, modeling the finite register file of the I/O pool;
+// capacity ≤ 0 means unbounded.
+func NewPQ[T any](capacity int) *PQ[T] {
+	return &PQ[T]{byH: make(map[Handle]*node[T]), cap: capacity}
+}
+
+// Len returns the number of buffered entries.
+func (q *PQ[T]) Len() int { return len(q.heap) }
+
+// Cap returns the configured capacity (0 = unbounded).
+func (q *PQ[T]) Cap() int { return q.cap }
+
+// Full reports whether a bounded queue has no free entry registers.
+func (q *PQ[T]) Full() bool { return q.cap > 0 && len(q.heap) >= q.cap }
+
+// Push inserts value with the given deadline key and returns its
+// handle. It fails when the queue is full.
+func (q *PQ[T]) Push(key slot.Time, value T) (Handle, error) {
+	if q.Full() {
+		return 0, fmt.Errorf("queue: priority queue full (cap %d)", q.cap)
+	}
+	n := &node[T]{key: key, seq: q.nextSeq, handle: q.nextH, value: value, pos: len(q.heap)}
+	q.nextSeq++
+	q.nextH++
+	q.heap = append(q.heap, n)
+	q.byH[n.handle] = n
+	q.up(n.pos)
+	return n.handle, nil
+}
+
+// Min returns the handle, key and value of the earliest-deadline
+// entry without removing it. ok is false when the queue is empty.
+func (q *PQ[T]) Min() (h Handle, key slot.Time, value T, ok bool) {
+	if len(q.heap) == 0 {
+		var zero T
+		return 0, 0, zero, false
+	}
+	n := q.heap[0]
+	return n.handle, n.key, n.value, true
+}
+
+// PopMin removes and returns the earliest-deadline entry.
+func (q *PQ[T]) PopMin() (key slot.Time, value T, ok bool) {
+	if len(q.heap) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	n := q.heap[0]
+	q.removeNode(n)
+	return n.key, n.value, true
+}
+
+// Get returns the value stored under h.
+func (q *PQ[T]) Get(h Handle) (value T, ok bool) {
+	n, ok := q.byH[h]
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return n.value, true
+}
+
+// Key returns the deadline key stored under h.
+func (q *PQ[T]) Key(h Handle) (slot.Time, bool) {
+	n, ok := q.byH[h]
+	if !ok {
+		return 0, false
+	}
+	return n.key, true
+}
+
+// Update rewrites the value stored under h in place (the schedulers'
+// timely read/write access to the parameter slots).
+func (q *PQ[T]) Update(h Handle, value T) bool {
+	n, ok := q.byH[h]
+	if !ok {
+		return false
+	}
+	n.value = value
+	return true
+}
+
+// Reprioritize changes the deadline key of entry h and restores the
+// heap order.
+func (q *PQ[T]) Reprioritize(h Handle, key slot.Time) bool {
+	n, ok := q.byH[h]
+	if !ok {
+		return false
+	}
+	old := n.key
+	n.key = key
+	if key < old {
+		q.up(n.pos)
+	} else if key > old {
+		q.down(n.pos)
+	}
+	return true
+}
+
+// Remove deletes entry h (random access removal).
+func (q *PQ[T]) Remove(h Handle) (value T, ok bool) {
+	n, ok := q.byH[h]
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	q.removeNode(n)
+	return n.value, true
+}
+
+// Each visits every buffered entry in unspecified order.
+func (q *PQ[T]) Each(visit func(h Handle, key slot.Time, value T)) {
+	for _, n := range q.heap {
+		visit(n.handle, n.key, n.value)
+	}
+}
+
+func (q *PQ[T]) removeNode(n *node[T]) {
+	i := n.pos
+	last := len(q.heap) - 1
+	q.swap(i, last)
+	q.heap = q.heap[:last]
+	delete(q.byH, n.handle)
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+// less orders by (key, seq): earliest deadline first, FIFO on ties.
+func (q *PQ[T]) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+func (q *PQ[T]) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].pos = i
+	q.heap[j].pos = j
+}
+
+func (q *PQ[T]) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q.swap(i, p)
+		i = p
+	}
+}
+
+func (q *PQ[T]) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(q.heap) && q.less(l, m) {
+			m = l
+		}
+		if r < len(q.heap) && q.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		q.swap(i, m)
+		i = m
+	}
+}
+
+// checkHeap validates the heap invariant; used by tests.
+func (q *PQ[T]) checkHeap() error {
+	for i := range q.heap {
+		if q.heap[i].pos != i {
+			return fmt.Errorf("queue: node at %d has pos %d", i, q.heap[i].pos)
+		}
+		l, r := 2*i+1, 2*i+2
+		if l < len(q.heap) && q.less(l, i) {
+			return fmt.Errorf("queue: heap violated at %d/%d", i, l)
+		}
+		if r < len(q.heap) && q.less(r, i) {
+			return fmt.Errorf("queue: heap violated at %d/%d", i, r)
+		}
+	}
+	return nil
+}
+
+// FIFO is a bounded first-in/first-out queue, the structure of
+// conventional I/O controllers (Sec. I: "the implementation of
+// traditional I/O controllers relies on FIFO queues, which forbids
+// context switches at the hardware level"). The zero value is an
+// unbounded empty queue.
+type FIFO[T any] struct {
+	items []T
+	cap   int // 0 = unbounded
+}
+
+// NewFIFO returns an empty FIFO; capacity ≤ 0 means unbounded.
+func NewFIFO[T any](capacity int) *FIFO[T] { return &FIFO[T]{cap: capacity} }
+
+// Len returns the number of queued items.
+func (f *FIFO[T]) Len() int { return len(f.items) }
+
+// Full reports whether a bounded FIFO cannot accept another item.
+func (f *FIFO[T]) Full() bool { return f.cap > 0 && len(f.items) >= f.cap }
+
+// Push enqueues v; it reports false when the FIFO is full (the
+// hardware back-pressures the producer).
+func (f *FIFO[T]) Push(v T) bool {
+	if f.Full() {
+		return false
+	}
+	f.items = append(f.items, v)
+	return true
+}
+
+// Peek returns the head item without dequeuing it.
+func (f *FIFO[T]) Peek() (T, bool) {
+	if len(f.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return f.items[0], true
+}
+
+// Pop dequeues and returns the head item.
+func (f *FIFO[T]) Pop() (T, bool) {
+	if len(f.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := f.items[0]
+	f.items = f.items[1:]
+	return v, true
+}
+
+// Each visits the queued items from head to tail.
+func (f *FIFO[T]) Each(visit func(v T)) {
+	for _, v := range f.items {
+		visit(v)
+	}
+}
+
+// Shadow is the one-entry shadow register of an I/O pool: the local
+// scheduler loads the head operation of its pool into it, and the
+// global scheduler compares deadlines across all shadow registers.
+// The zero value is an empty register.
+type Shadow[T any] struct {
+	value T
+	key   slot.Time
+	valid bool
+}
+
+// Valid reports whether the register holds an operation.
+func (s *Shadow[T]) Valid() bool { return s.valid }
+
+// Load stores an operation and its deadline, overwriting any previous
+// content (the local scheduler refreshed its choice).
+func (s *Shadow[T]) Load(key slot.Time, v T) {
+	s.key, s.value, s.valid = key, v, true
+}
+
+// Peek returns the registered operation without consuming it.
+func (s *Shadow[T]) Peek() (key slot.Time, v T, ok bool) {
+	if !s.valid {
+		var zero T
+		return 0, zero, false
+	}
+	return s.key, s.value, true
+}
+
+// Take consumes the registered operation (the executor accepted it).
+func (s *Shadow[T]) Take() (key slot.Time, v T, ok bool) {
+	key, v, ok = s.Peek()
+	if ok {
+		s.Clear()
+	}
+	return key, v, ok
+}
+
+// Clear empties the register.
+func (s *Shadow[T]) Clear() {
+	var zero T
+	s.value, s.key, s.valid = zero, 0, false
+}

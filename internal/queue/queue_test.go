@@ -1,0 +1,298 @@
+package queue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ioguard/internal/slot"
+)
+
+func TestPQPushMin(t *testing.T) {
+	q := NewPQ[string](0)
+	if _, _, _, ok := q.Min(); ok {
+		t.Fatal("Min on empty queue should report !ok")
+	}
+	q.Push(30, "c")
+	q.Push(10, "a")
+	q.Push(20, "b")
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	_, key, v, ok := q.Min()
+	if !ok || key != 10 || v != "a" {
+		t.Errorf("Min = %d/%q, want 10/a", key, v)
+	}
+}
+
+func TestPQPopOrder(t *testing.T) {
+	q := NewPQ[int](0)
+	keys := []slot.Time{5, 3, 9, 1, 7, 3, 2}
+	for i, k := range keys {
+		q.Push(k, i)
+	}
+	var got []slot.Time
+	for {
+		k, _, ok := q.PopMin()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	want := append([]slot.Time(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPQFIFOTieBreak(t *testing.T) {
+	q := NewPQ[string](0)
+	q.Push(5, "first")
+	q.Push(5, "second")
+	q.Push(5, "third")
+	_, v, _ := q.PopMin()
+	if v != "first" {
+		t.Errorf("tie broken to %q, want insertion order", v)
+	}
+	_, v, _ = q.PopMin()
+	if v != "second" {
+		t.Errorf("second pop = %q", v)
+	}
+}
+
+func TestPQCapacity(t *testing.T) {
+	q := NewPQ[int](2)
+	if q.Cap() != 2 {
+		t.Errorf("Cap = %d", q.Cap())
+	}
+	if _, err := q.Push(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Push(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Full() {
+		t.Error("queue with cap 2 holding 2 should be full")
+	}
+	if _, err := q.Push(3, 3); err == nil {
+		t.Error("push beyond capacity should fail")
+	}
+	q.PopMin()
+	if q.Full() {
+		t.Error("queue should have room after pop")
+	}
+}
+
+func TestPQRandomAccess(t *testing.T) {
+	q := NewPQ[string](0)
+	h1, _ := q.Push(10, "a")
+	h2, _ := q.Push(20, "b")
+	if v, ok := q.Get(h2); !ok || v != "b" {
+		t.Errorf("Get(h2) = %q/%v", v, ok)
+	}
+	if k, ok := q.Key(h1); !ok || k != 10 {
+		t.Errorf("Key(h1) = %d/%v", k, ok)
+	}
+	if !q.Update(h2, "B") {
+		t.Error("Update failed")
+	}
+	if v, _ := q.Get(h2); v != "B" {
+		t.Errorf("after Update Get = %q", v)
+	}
+	if v, ok := q.Remove(h1); !ok || v != "a" {
+		t.Errorf("Remove(h1) = %q/%v", v, ok)
+	}
+	if _, ok := q.Get(h1); ok {
+		t.Error("removed handle still resolvable")
+	}
+	if _, _, _, ok := q.Min(); !ok {
+		t.Error("queue should still hold h2")
+	}
+	if !q.Reprioritize(h2, 1) {
+		t.Error("Reprioritize failed")
+	}
+	if k, _ := q.Key(h2); k != 1 {
+		t.Errorf("key after Reprioritize = %d", k)
+	}
+	if q.Update(12345, "x") || q.Reprioritize(12345, 1) {
+		t.Error("operations on unknown handle should report false")
+	}
+	if _, ok := q.Remove(12345); ok {
+		t.Error("Remove unknown handle should report false")
+	}
+	if _, ok := q.Key(12345); ok {
+		t.Error("Key unknown handle should report false")
+	}
+}
+
+func TestPQEach(t *testing.T) {
+	q := NewPQ[int](0)
+	q.Push(3, 30)
+	q.Push(1, 10)
+	sum := 0
+	q.Each(func(h Handle, k slot.Time, v int) { sum += v })
+	if sum != 40 {
+		t.Errorf("Each visited sum %d, want 40", sum)
+	}
+}
+
+func TestPQPopEmpty(t *testing.T) {
+	q := NewPQ[int](0)
+	if _, _, ok := q.PopMin(); ok {
+		t.Error("PopMin on empty should report !ok")
+	}
+}
+
+func TestPQHeapInvariantUnderRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewPQ[int](0)
+		var handles []Handle
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				h, _ := q.Push(slot.Time(rng.Intn(100)), op)
+				handles = append(handles, h)
+			case 2:
+				if len(handles) > 0 {
+					h := handles[rng.Intn(len(handles))]
+					q.Reprioritize(h, slot.Time(rng.Intn(100)))
+				}
+			case 3:
+				if len(handles) > 0 {
+					i := rng.Intn(len(handles))
+					q.Remove(handles[i])
+					handles = append(handles[:i], handles[i+1:]...)
+				}
+			}
+			if err := q.checkHeap(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPQMinAlwaysSmallest(t *testing.T) {
+	f := func(keys []uint8) bool {
+		q := NewPQ[int](0)
+		min := slot.Never
+		for i, k := range keys {
+			q.Push(slot.Time(k), i)
+			if slot.Time(k) < min {
+				min = slot.Time(k)
+			}
+		}
+		if len(keys) == 0 {
+			_, _, _, ok := q.Min()
+			return !ok
+		}
+		_, key, _, ok := q.Min()
+		return ok && key == min
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO[int](0)
+	if _, ok := f.Peek(); ok {
+		t.Error("Peek on empty FIFO should report !ok")
+	}
+	if _, ok := f.Pop(); ok {
+		t.Error("Pop on empty FIFO should report !ok")
+	}
+	for i := 0; i < 5; i++ {
+		if !f.Push(i) {
+			t.Fatal("push on unbounded FIFO failed")
+		}
+	}
+	if f.Len() != 5 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if v, _ := f.Peek(); v != 0 {
+		t.Errorf("Peek = %d, want 0", v)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := f.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = %d/%v", i, v, ok)
+		}
+	}
+}
+
+func TestFIFOBounded(t *testing.T) {
+	f := NewFIFO[int](2)
+	f.Push(1)
+	f.Push(2)
+	if !f.Full() {
+		t.Error("FIFO should be full")
+	}
+	if f.Push(3) {
+		t.Error("push on full FIFO should fail")
+	}
+	f.Pop()
+	if !f.Push(3) {
+		t.Error("push after pop should succeed")
+	}
+}
+
+func TestFIFOEach(t *testing.T) {
+	f := NewFIFO[int](0)
+	f.Push(1)
+	f.Push(2)
+	var got []int
+	f.Each(func(v int) { got = append(got, v) })
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Each order = %v", got)
+	}
+}
+
+func TestShadow(t *testing.T) {
+	var s Shadow[string]
+	if s.Valid() {
+		t.Error("zero shadow register should be empty")
+	}
+	if _, _, ok := s.Peek(); ok {
+		t.Error("Peek on empty shadow should report !ok")
+	}
+	if _, _, ok := s.Take(); ok {
+		t.Error("Take on empty shadow should report !ok")
+	}
+	s.Load(42, "op")
+	if !s.Valid() {
+		t.Error("shadow should be valid after Load")
+	}
+	k, v, ok := s.Peek()
+	if !ok || k != 42 || v != "op" {
+		t.Errorf("Peek = %d/%q/%v", k, v, ok)
+	}
+	s.Load(7, "op2") // overwrite
+	k, v, _ = s.Take()
+	if k != 7 || v != "op2" {
+		t.Errorf("Take = %d/%q", k, v)
+	}
+	if s.Valid() {
+		t.Error("shadow should be empty after Take")
+	}
+}
+
+func BenchmarkPQPushPop(b *testing.B) {
+	q := NewPQ[int](0)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(slot.Time(rng.Intn(1000)), i)
+		if q.Len() > 64 {
+			q.PopMin()
+		}
+	}
+}

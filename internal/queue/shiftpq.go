@@ -1,0 +1,182 @@
+// ShiftPQ: a shift-register priority queue, the micro-architecture
+// hardware priority queues are typically built from (an ordered array
+// of register cells; an insert shifts lower-priority entries one cell
+// down in a single cycle). Functionally equivalent to the heap-based
+// PQ — TestShiftPQEquivalence proves it against the same operation
+// streams — but O(capacity) storage with O(1)-cycle hardware inserts,
+// which is why Table I's register count scales with the pool depth.
+package queue
+
+import (
+	"fmt"
+
+	"ioguard/internal/slot"
+)
+
+// shiftCell is one register stage of the shift queue.
+type shiftCell[T any] struct {
+	key    slot.Time
+	seq    int64
+	handle Handle
+	value  T
+}
+
+// ShiftPQ is a deadline-ordered priority queue implemented as an
+// ordered register array. The zero value is not usable; call
+// NewShiftPQ.
+type ShiftPQ[T any] struct {
+	cells   []shiftCell[T]
+	byH     map[Handle]int // handle → index (maintained on every shift)
+	nextH   Handle
+	nextSeq int64
+	cap     int
+}
+
+// NewShiftPQ returns an empty shift-register queue; capacity ≤ 0
+// means unbounded (software convenience; hardware instances are
+// always bounded).
+func NewShiftPQ[T any](capacity int) *ShiftPQ[T] {
+	return &ShiftPQ[T]{byH: make(map[Handle]int), cap: capacity}
+}
+
+// Len returns the number of occupied cells.
+func (q *ShiftPQ[T]) Len() int { return len(q.cells) }
+
+// Cap returns the configured capacity (0 = unbounded).
+func (q *ShiftPQ[T]) Cap() int { return q.cap }
+
+// Full reports whether a bounded queue has no free cell.
+func (q *ShiftPQ[T]) Full() bool { return q.cap > 0 && len(q.cells) >= q.cap }
+
+// Push inserts value at its ordered position, shifting lower-priority
+// cells down.
+func (q *ShiftPQ[T]) Push(key slot.Time, value T) (Handle, error) {
+	if q.Full() {
+		return 0, fmt.Errorf("queue: shift queue full (cap %d)", q.cap)
+	}
+	c := shiftCell[T]{key: key, seq: q.nextSeq, handle: q.nextH, value: value}
+	q.nextSeq++
+	q.nextH++
+	// Find the insertion point: after all entries with (key, seq) <.
+	i := len(q.cells)
+	for i > 0 {
+		prev := q.cells[i-1]
+		if prev.key < c.key || (prev.key == c.key && prev.seq < c.seq) {
+			break
+		}
+		i--
+	}
+	q.cells = append(q.cells, shiftCell[T]{})
+	copy(q.cells[i+1:], q.cells[i:])
+	q.cells[i] = c
+	q.reindex(i)
+	return c.handle, nil
+}
+
+// reindex refreshes the handle map from cell i onward.
+func (q *ShiftPQ[T]) reindex(from int) {
+	for i := from; i < len(q.cells); i++ {
+		q.byH[q.cells[i].handle] = i
+	}
+}
+
+// Min returns the head cell without removing it.
+func (q *ShiftPQ[T]) Min() (h Handle, key slot.Time, value T, ok bool) {
+	if len(q.cells) == 0 {
+		var zero T
+		return 0, 0, zero, false
+	}
+	c := q.cells[0]
+	return c.handle, c.key, c.value, true
+}
+
+// PopMin removes and returns the head cell.
+func (q *ShiftPQ[T]) PopMin() (key slot.Time, value T, ok bool) {
+	if len(q.cells) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	c := q.cells[0]
+	q.removeAt(0)
+	return c.key, c.value, true
+}
+
+// Get returns the value stored under h.
+func (q *ShiftPQ[T]) Get(h Handle) (T, bool) {
+	i, ok := q.byH[h]
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return q.cells[i].value, true
+}
+
+// Key returns the key stored under h.
+func (q *ShiftPQ[T]) Key(h Handle) (slot.Time, bool) {
+	i, ok := q.byH[h]
+	if !ok {
+		return 0, false
+	}
+	return q.cells[i].key, true
+}
+
+// Update rewrites the value stored under h.
+func (q *ShiftPQ[T]) Update(h Handle, value T) bool {
+	i, ok := q.byH[h]
+	if !ok {
+		return false
+	}
+	q.cells[i].value = value
+	return true
+}
+
+// Reprioritize changes the key of entry h, re-shifting it into place.
+func (q *ShiftPQ[T]) Reprioritize(h Handle, key slot.Time) bool {
+	i, ok := q.byH[h]
+	if !ok {
+		return false
+	}
+	c := q.cells[i]
+	c.key = key
+	q.removeAt(i)
+	// Re-insert preserving the original handle and seq.
+	j := len(q.cells)
+	for j > 0 {
+		prev := q.cells[j-1]
+		if prev.key < c.key || (prev.key == c.key && prev.seq < c.seq) {
+			break
+		}
+		j--
+	}
+	q.cells = append(q.cells, shiftCell[T]{})
+	copy(q.cells[j+1:], q.cells[j:])
+	q.cells[j] = c
+	q.reindex(j)
+	return true
+}
+
+// Remove deletes entry h.
+func (q *ShiftPQ[T]) Remove(h Handle) (T, bool) {
+	i, ok := q.byH[h]
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	v := q.cells[i].value
+	q.removeAt(i)
+	return v, true
+}
+
+func (q *ShiftPQ[T]) removeAt(i int) {
+	delete(q.byH, q.cells[i].handle)
+	copy(q.cells[i:], q.cells[i+1:])
+	q.cells = q.cells[:len(q.cells)-1]
+	q.reindex(i)
+}
+
+// Each visits every occupied cell in priority order (head first).
+func (q *ShiftPQ[T]) Each(visit func(h Handle, key slot.Time, value T)) {
+	for _, c := range q.cells {
+		visit(c.handle, c.key, c.value)
+	}
+}

@@ -1,0 +1,172 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ioguard/internal/slot"
+)
+
+func TestShiftPQBasics(t *testing.T) {
+	q := NewShiftPQ[string](0)
+	if _, _, _, ok := q.Min(); ok {
+		t.Fatal("Min on empty should report !ok")
+	}
+	if _, _, ok := q.PopMin(); ok {
+		t.Fatal("PopMin on empty should report !ok")
+	}
+	q.Push(30, "c")
+	q.Push(10, "a")
+	q.Push(20, "b")
+	_, k, v, ok := q.Min()
+	if !ok || k != 10 || v != "a" {
+		t.Errorf("Min = %d/%q", k, v)
+	}
+	var order []string
+	q.Each(func(_ Handle, _ slot.Time, v string) { order = append(order, v) })
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("Each order = %v (shift queue is ordered)", order)
+	}
+}
+
+func TestShiftPQCapacity(t *testing.T) {
+	q := NewShiftPQ[int](2)
+	if q.Cap() != 2 {
+		t.Errorf("Cap = %d", q.Cap())
+	}
+	q.Push(1, 1)
+	q.Push(2, 2)
+	if !q.Full() {
+		t.Error("should be full")
+	}
+	if _, err := q.Push(3, 3); err == nil {
+		t.Error("push past capacity accepted")
+	}
+}
+
+func TestShiftPQTieBreakFIFO(t *testing.T) {
+	q := NewShiftPQ[string](0)
+	q.Push(5, "first")
+	q.Push(5, "second")
+	_, v, _ := q.PopMin()
+	if v != "first" {
+		t.Errorf("tie broken to %q", v)
+	}
+}
+
+func TestShiftPQRandomAccess(t *testing.T) {
+	q := NewShiftPQ[string](0)
+	h1, _ := q.Push(10, "a")
+	h2, _ := q.Push(20, "b")
+	if v, ok := q.Get(h1); !ok || v != "a" {
+		t.Error("Get failed")
+	}
+	if k, ok := q.Key(h2); !ok || k != 20 {
+		t.Error("Key failed")
+	}
+	if !q.Update(h2, "B") {
+		t.Error("Update failed")
+	}
+	if !q.Reprioritize(h2, 1) {
+		t.Error("Reprioritize failed")
+	}
+	_, k, v, _ := q.Min()
+	if k != 1 || v != "B" {
+		t.Errorf("head = %d/%q after reprioritize", k, v)
+	}
+	if v, ok := q.Remove(h1); !ok || v != "a" {
+		t.Error("Remove failed")
+	}
+	if _, ok := q.Get(h1); ok {
+		t.Error("stale handle resolvable")
+	}
+	if q.Update(99, "x") || q.Reprioritize(99, 0) {
+		t.Error("unknown handle accepted")
+	}
+	if _, ok := q.Remove(99); ok {
+		t.Error("Remove of unknown handle accepted")
+	}
+	if _, ok := q.Key(99); ok {
+		t.Error("Key of unknown handle accepted")
+	}
+}
+
+// TestShiftPQEquivalence drives the heap PQ and the shift-register PQ
+// with identical operation streams and demands identical observable
+// behaviour — the hardware structure is a drop-in replacement.
+func TestShiftPQEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		heap := NewPQ[int](8)
+		shift := NewShiftPQ[int](8)
+		var hH, hS []Handle // parallel handle lists
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(5) {
+			case 0, 1:
+				key := slot.Time(rng.Intn(50))
+				a, errA := heap.Push(key, op)
+				b, errB := shift.Push(key, op)
+				if (errA == nil) != (errB == nil) {
+					return false
+				}
+				if errA == nil {
+					hH = append(hH, a)
+					hS = append(hS, b)
+				}
+			case 2:
+				ka, va, oka := heap.PopMin()
+				kb, vb, okb := shift.PopMin()
+				if oka != okb || ka != kb || va != vb {
+					return false
+				}
+			case 3:
+				if len(hH) > 0 {
+					i := rng.Intn(len(hH))
+					key := slot.Time(rng.Intn(50))
+					ra := heap.Reprioritize(hH[i], key)
+					rb := shift.Reprioritize(hS[i], key)
+					if ra != rb {
+						return false
+					}
+				}
+			case 4:
+				if len(hH) > 0 {
+					i := rng.Intn(len(hH))
+					va, oka := heap.Remove(hH[i])
+					vb, okb := shift.Remove(hS[i])
+					if oka != okb || va != vb {
+						return false
+					}
+					hH = append(hH[:i], hH[i+1:]...)
+					hS = append(hS[:i], hS[i+1:]...)
+				}
+			}
+			if heap.Len() != shift.Len() {
+				return false
+			}
+			ha, ka, va, oka := heap.Min()
+			_, kb, vb, okb := shift.Min()
+			_ = ha
+			if oka != okb || (oka && (ka != kb || va != vb)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkShiftPQPushPop(b *testing.B) {
+	q := NewShiftPQ[int](0)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(slot.Time(rng.Intn(1000)), i)
+		if q.Len() > 64 {
+			q.PopMin()
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package rtos models the software half of the co-design: the guest
+// RTOS (FreeRTOS in the prototype, Sec. II-A) and the per-architecture
+// I/O access paths whose software costs differentiate the systems of
+// the evaluation (Sec. V).
+//
+// In the legacy stack an application's I/O request crosses the kernel
+// I/O manager and the low-level driver; under software virtualization
+// (RT-Xen) it additionally traps into the VMM and is serviced by a
+// software backend; under hardware-assisted virtualization
+// (BlueVisor) and I/O-GUARD the kernel is bypassed by a thin
+// para-virtual driver that forwards requests straight to the hardware
+// hypervisor. Each hop costs CPU time (modeled in slots) and memory
+// footprint (modeled as text/data/bss segments, consumed by the
+// Fig. 6 reproduction in internal/footprint).
+package rtos
+
+import (
+	"fmt"
+
+	"ioguard/internal/slot"
+)
+
+// Arch identifies the system architectures compared in Sec. V.
+type Arch uint8
+
+// The four evaluated architectures.
+const (
+	Legacy    Arch = iota // BS|Legacy: no virtualization, router-level arbitration
+	RTXen                 // BS|RT-XEN: software hypervisor with RT patches
+	BlueVisor             // BS|BV: hardware-assisted virtualization, FIFO I/O
+	IOGuard               // the proposed system
+)
+
+// Arches lists all architectures in presentation order.
+func Arches() []Arch { return []Arch{Legacy, RTXen, BlueVisor, IOGuard} }
+
+// String returns the paper's name for the architecture.
+func (a Arch) String() string {
+	switch a {
+	case Legacy:
+		return "BS|Legacy"
+	case RTXen:
+		return "BS|RT-XEN"
+	case BlueVisor:
+		return "BS|BV"
+	case IOGuard:
+		return "I/O-GUARD"
+	default:
+		return fmt.Sprintf("arch(%d)", uint8(a))
+	}
+}
+
+// PathCost is the software cost of one I/O operation on an
+// architecture, in slots (1 µs at the platform's 100 MHz clock).
+type PathCost struct {
+	// Request is the on-core software path from the application's
+	// call to the request leaving toward the I/O subsystem (syscall,
+	// kernel I/O manager, driver; or the para-virtual forward).
+	Request slot.Time
+	// VMMRequest is the per-operation work of a *software* hypervisor
+	// backend. It is serialized across all VMs — the VMM is a single
+	// software resource — which is what makes software virtualization
+	// collapse as VMs are added (Obs. 4).
+	VMMRequest slot.Time
+	// Response is the software path from I/O completion back to the
+	// application.
+	Response slot.Time
+}
+
+// Total returns the end-to-end software cost of one operation.
+func (p PathCost) Total() slot.Time { return p.Request + p.VMMRequest + p.Response }
+
+// Costs returns the calibrated access-path cost of each architecture.
+// The magnitudes follow the paper's qualitative ordering: software
+// virtualization pays the trap-into-VMM plus backend processing on
+// every operation; hardware virtualization reduces the path to a
+// bounded forward; I/O-GUARD's para-virtual driver "only forwards the
+// I/O requests to the hypervisor".
+func Costs(a Arch) PathCost {
+	switch a {
+	case Legacy:
+		return PathCost{Request: 3, Response: 2}
+	case RTXen:
+		return PathCost{Request: 6, VMMRequest: 12, Response: 8}
+	case BlueVisor:
+		return PathCost{Request: 2, Response: 1}
+	case IOGuard:
+		return PathCost{Request: 1, Response: 1}
+	default:
+		return PathCost{}
+	}
+}
+
+// Segment is a memory footprint in KB split by ELF segment, the
+// measurement unit of Fig. 6.
+type Segment struct {
+	Text float64
+	Data float64
+	BSS  float64
+}
+
+// Total returns the segment sum in KB.
+func (s Segment) Total() float64 { return s.Text + s.Data + s.BSS }
+
+// Add returns the component-wise sum of two segments.
+func (s Segment) Add(o Segment) Segment {
+	return Segment{Text: s.Text + o.Text, Data: s.Data + o.Data, BSS: s.BSS + o.BSS}
+}
+
+// Scale returns the segment scaled by k.
+func (s Segment) Scale(k float64) Segment {
+	return Segment{Text: s.Text * k, Data: s.Data * k, BSS: s.BSS * k}
+}
+
+// seg builds a Segment from a total KB figure with the typical
+// embedded-image split (≈72% text, 10% data, 18% bss).
+func seg(totalKB float64) Segment {
+	return Segment{Text: totalKB * 0.72, Data: totalKB * 0.10, BSS: totalKB * 0.18}
+}
+
+// HypervisorFootprint returns the run-time footprint of the
+// architecture's hypervisor/VMM software. Calibration anchors
+// (Sec. V-A): the legacy system has none; RT-Xen's hypervisor plus
+// kernel modifications add 61 KB (129.8%) over the legacy kernel;
+// BlueVisor keeps only a thin software shim; I/O-GUARD "entirely
+// eliminated the software overhead of the VMM".
+func HypervisorFootprint(a Arch) Segment {
+	switch a {
+	case RTXen:
+		return seg(52)
+	case BlueVisor:
+		return seg(9)
+	default:
+		return Segment{}
+	}
+}
+
+// KernelFootprint returns the guest OS kernel footprint. The legacy
+// kernel is fully featured (47 KB, so that RT-Xen's +61 KB matches
+// the paper's +129.8%); RT-Xen adds paravirtual kernel modifications;
+// I/O-GUARD's kernel sheds the I/O manager (Sec. II-A, Fig. 3).
+func KernelFootprint(a Arch) Segment {
+	switch a {
+	case Legacy:
+		return seg(47)
+	case RTXen:
+		return seg(56)
+	case BlueVisor:
+		return seg(47)
+	case IOGuard:
+		return seg(43)
+	default:
+		return Segment{}
+	}
+}
+
+// legacyDriverKB is the calibrated footprint of each full low-level
+// I/O driver in the legacy stack; driver complexity tracks device
+// complexity (Sec. V-A: "the complexity of the I/O device determines
+// its software overhead").
+var legacyDriverKB = map[string]float64{
+	"spi":      4.2,
+	"i2c":      4.6,
+	"uart":     3.1,
+	"can":      6.3,
+	"ethernet": 12.8,
+	"flexray":  9.4,
+}
+
+// DriverDevices returns the device names with driver footprint data,
+// in a fixed presentation order.
+func DriverDevices() []string {
+	return []string{"spi", "i2c", "uart", "can", "ethernet", "flexray"}
+}
+
+// DriverFootprint returns the per-device I/O driver footprint of an
+// architecture. RT-Xen always sustains the largest footprint (split
+// front-end/back-end drivers); BlueVisor moves translation to
+// hardware; I/O-GUARD keeps only a forwarding stub because "the
+// implementation of I/O drivers is straightforward, as they only
+// forward the I/O requests to the hypervisor".
+func DriverFootprint(a Arch, device string) (Segment, error) {
+	base, ok := legacyDriverKB[device]
+	if !ok {
+		return Segment{}, fmt.Errorf("rtos: unknown device %q", device)
+	}
+	switch a {
+	case Legacy:
+		return seg(base), nil
+	case RTXen:
+		return seg(base * 1.8), nil
+	case BlueVisor:
+		return seg(base * 0.55), nil
+	case IOGuard:
+		kb := base * 0.22
+		if kb < 0.8 {
+			kb = 0.8
+		}
+		return seg(kb), nil
+	default:
+		return Segment{}, fmt.Errorf("rtos: unknown architecture %d", a)
+	}
+}

@@ -1,0 +1,141 @@
+package rtos
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestArchString(t *testing.T) {
+	want := map[Arch]string{
+		Legacy: "BS|Legacy", RTXen: "BS|RT-XEN", BlueVisor: "BS|BV", IOGuard: "I/O-GUARD",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), s)
+		}
+	}
+	if !strings.Contains(Arch(9).String(), "9") {
+		t.Error("unknown arch should show numerically")
+	}
+	if len(Arches()) != 4 {
+		t.Error("Arches should list all four systems")
+	}
+}
+
+func TestCostsOrdering(t *testing.T) {
+	// RT-Xen must be the most expensive path; I/O-GUARD the cheapest;
+	// hardware virtualization has no serialized VMM work.
+	if Costs(RTXen).Total() <= Costs(Legacy).Total() {
+		t.Error("RT-Xen path should cost more than legacy")
+	}
+	if Costs(IOGuard).Total() > Costs(BlueVisor).Total() {
+		t.Error("I/O-GUARD path should not cost more than BlueVisor")
+	}
+	if Costs(IOGuard).Total() >= Costs(Legacy).Total() {
+		t.Error("I/O-GUARD para-virtual path should beat the legacy kernel path")
+	}
+	if Costs(Legacy).VMMRequest != 0 || Costs(BlueVisor).VMMRequest != 0 || Costs(IOGuard).VMMRequest != 0 {
+		t.Error("only software virtualization has VMM work")
+	}
+	if Costs(RTXen).VMMRequest == 0 {
+		t.Error("RT-Xen must pay serialized VMM work")
+	}
+	if Costs(Arch(99)).Total() != 0 {
+		t.Error("unknown arch should cost 0")
+	}
+}
+
+func TestSegmentArithmetic(t *testing.T) {
+	s := Segment{Text: 10, Data: 2, BSS: 3}
+	if s.Total() != 15 {
+		t.Errorf("Total = %v", s.Total())
+	}
+	sum := s.Add(Segment{Text: 1, Data: 1, BSS: 1})
+	if sum.Total() != 18 {
+		t.Errorf("Add total = %v", sum.Total())
+	}
+	if s.Scale(2).Total() != 30 {
+		t.Errorf("Scale total = %v", s.Scale(2).Total())
+	}
+}
+
+func TestSegSplitSumsToTotal(t *testing.T) {
+	s := seg(100)
+	if math.Abs(s.Total()-100) > 1e-9 {
+		t.Errorf("seg split total = %v", s.Total())
+	}
+	if s.Text < s.Data || s.Text < s.BSS {
+		t.Error("text should dominate an embedded image")
+	}
+}
+
+func TestFig6CalibrationAnchors(t *testing.T) {
+	// RT-Xen's hypervisor + kernel-mod overhead over the legacy
+	// kernel must be 61 KB = 129.8% (Sec. V-A).
+	legacyKB := KernelFootprint(Legacy).Total()
+	rtxenKB := HypervisorFootprint(RTXen).Total() + KernelFootprint(RTXen).Total()
+	over := rtxenKB - legacyKB
+	if math.Abs(over-61) > 1.0 {
+		t.Errorf("RT-Xen overhead = %.1f KB, want ≈61", over)
+	}
+	if pct := over / legacyKB * 100; math.Abs(pct-129.8) > 5 {
+		t.Errorf("RT-Xen overhead = %.1f%%, want ≈129.8%%", pct)
+	}
+	if HypervisorFootprint(Legacy).Total() != 0 {
+		t.Error("legacy has no hypervisor")
+	}
+	if HypervisorFootprint(IOGuard).Total() != 0 {
+		t.Error("I/O-GUARD eliminates the software VMM entirely")
+	}
+	if HypervisorFootprint(BlueVisor).Total() <= 0 {
+		t.Error("BlueVisor keeps a thin software shim")
+	}
+	if KernelFootprint(IOGuard).Total() >= KernelFootprint(Legacy).Total() {
+		t.Error("I/O-GUARD kernel sheds the I/O manager")
+	}
+	if KernelFootprint(Arch(9)).Total() != 0 {
+		t.Error("unknown arch kernel should be empty")
+	}
+}
+
+func TestDriverFootprintOrdering(t *testing.T) {
+	for _, dev := range DriverDevices() {
+		leg, err := DriverFootprint(Legacy, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xen, _ := DriverFootprint(RTXen, dev)
+		bv, _ := DriverFootprint(BlueVisor, dev)
+		iog, _ := DriverFootprint(IOGuard, dev)
+		if !(xen.Total() > leg.Total() && leg.Total() > bv.Total() && bv.Total() > iog.Total()) {
+			t.Errorf("%s: footprint ordering violated: xen=%.1f leg=%.1f bv=%.1f iog=%.1f",
+				dev, xen.Total(), leg.Total(), bv.Total(), iog.Total())
+		}
+	}
+}
+
+func TestDriverFootprintComplexDevicesCostMore(t *testing.T) {
+	eth, _ := DriverFootprint(Legacy, "ethernet")
+	uart, _ := DriverFootprint(Legacy, "uart")
+	if eth.Total() <= uart.Total() {
+		t.Error("ethernet driver should dwarf the UART driver")
+	}
+}
+
+func TestDriverFootprintErrors(t *testing.T) {
+	if _, err := DriverFootprint(Legacy, "floppy"); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if _, err := DriverFootprint(Arch(9), "spi"); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+func TestDriverDevicesCoverCatalog(t *testing.T) {
+	for _, d := range DriverDevices() {
+		if _, err := DriverFootprint(Legacy, d); err != nil {
+			t.Errorf("device %q listed but has no footprint: %v", d, err)
+		}
+	}
+}

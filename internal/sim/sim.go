@@ -1,0 +1,114 @@
+// Package sim provides the deterministic slot-stepped simulation
+// engine that stands in for the VC709 FPGA platform of the paper's
+// evaluation. All system elements synchronize to a single global
+// timer (assumption (iii) of Sec. II); the engine models that timer
+// and advances every registered component one time slot at a time.
+//
+// Determinism matters: the paper re-runs each configuration 1000
+// times with identical inputs across systems; the engine therefore
+// derives all randomness from one seeded source so that "the data
+// input to the examined systems was identical in each execution".
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"ioguard/internal/slot"
+)
+
+// Stepper is a hardware component clocked by the global timer: Step
+// is called exactly once per slot, in registration order.
+type Stepper interface {
+	Step(now slot.Time)
+}
+
+// StepFunc adapts a function to the Stepper interface.
+type StepFunc func(now slot.Time)
+
+// Step calls f(now).
+func (f StepFunc) Step(now slot.Time) { f(now) }
+
+// event is a one-shot callback scheduled for an absolute slot.
+type event struct {
+	at  slot.Time
+	seq int64
+	fn  func(now slot.Time)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)       { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (v any)     { old := *h; n := len(old); v = old[n-1]; *h = old[:n-1]; return }
+func (h eventHeap) Peek() *event      { return h[0] }
+func (h eventHeap) Empty() bool       { return len(h) == 0 }
+func (h eventHeap) NextAt() slot.Time { return h[0].at }
+
+// Engine is the global timer plus the set of clocked components. The
+// zero value is not usable; call New.
+type Engine struct {
+	now      slot.Time
+	rng      *rand.Rand
+	steppers []Stepper
+	events   eventHeap
+	nextSeq  int64
+}
+
+// New returns an engine at slot 0 with a deterministic random source.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current slot.
+func (e *Engine) Now() slot.Time { return e.now }
+
+// RNG returns the engine's deterministic random source. All stochastic
+// workload decisions must draw from it to keep runs reproducible.
+func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// Register adds a clocked component. Components are stepped in
+// registration order within each slot, which fixes the intra-slot
+// pipeline order (e.g. schedulers before executors).
+func (e *Engine) Register(s Stepper) { e.steppers = append(e.steppers, s) }
+
+// At schedules fn to run at the start of slot at. Events scheduled for
+// the past run at the start of the next Step. Events at the same slot
+// run in scheduling order, before any Stepper.
+func (e *Engine) At(at slot.Time, fn func(now slot.Time)) {
+	heap.Push(&e.events, &event{at: at, seq: e.nextSeq, fn: fn})
+	e.nextSeq++
+}
+
+// After schedules fn delay slots from now.
+func (e *Engine) After(delay slot.Time, fn func(now slot.Time)) {
+	e.At(e.now+delay, fn)
+}
+
+// Step advances the simulation by one slot: due events fire first,
+// then every registered component steps, then time advances.
+func (e *Engine) Step() {
+	for !e.events.Empty() && e.events.NextAt() <= e.now {
+		ev := heap.Pop(&e.events).(*event)
+		ev.fn(e.now)
+	}
+	for _, s := range e.steppers {
+		s.Step(e.now)
+	}
+	e.now++
+}
+
+// Run steps the simulation until Now() == until (exclusive of slot
+// until itself). It is a no-op when until ≤ Now().
+func (e *Engine) Run(until slot.Time) {
+	for e.now < until {
+		e.Step()
+	}
+}

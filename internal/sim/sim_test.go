@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+
+	"ioguard/internal/slot"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := New(1)
+	if e.Now() != 0 {
+		t.Errorf("Now = %d, want 0", e.Now())
+	}
+}
+
+func TestRunAdvancesTime(t *testing.T) {
+	e := New(1)
+	e.Run(10)
+	if e.Now() != 10 {
+		t.Errorf("Now = %d, want 10", e.Now())
+	}
+	e.Run(5) // no-op, until < now
+	if e.Now() != 10 {
+		t.Errorf("Run into the past moved time: %d", e.Now())
+	}
+}
+
+func TestSteppersCalledOncePerSlotInOrder(t *testing.T) {
+	e := New(1)
+	var log []int
+	e.Register(StepFunc(func(now slot.Time) { log = append(log, 1) }))
+	e.Register(StepFunc(func(now slot.Time) { log = append(log, 2) }))
+	e.Run(3)
+	want := []int{1, 2, 1, 2, 1, 2}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestStepperSeesCurrentSlot(t *testing.T) {
+	e := New(1)
+	var seen []slot.Time
+	e.Register(StepFunc(func(now slot.Time) { seen = append(seen, now) }))
+	e.Run(4)
+	for i, s := range seen {
+		if s != slot.Time(i) {
+			t.Fatalf("seen = %v", seen)
+		}
+	}
+}
+
+func TestEventsFireAtScheduledSlot(t *testing.T) {
+	e := New(1)
+	var fired slot.Time = -1
+	e.At(5, func(now slot.Time) { fired = now })
+	e.Run(5)
+	if fired != -1 {
+		t.Error("event fired early")
+	}
+	e.Run(6)
+	if fired != 5 {
+		t.Errorf("event fired at %d, want 5", fired)
+	}
+}
+
+func TestEventsBeforeSteppers(t *testing.T) {
+	e := New(1)
+	var order []string
+	e.Register(StepFunc(func(now slot.Time) {
+		if now == 2 {
+			order = append(order, "step")
+		}
+	}))
+	e.At(2, func(now slot.Time) { order = append(order, "event") })
+	e.Run(3)
+	if len(order) != 2 || order[0] != "event" || order[1] != "step" {
+		t.Errorf("order = %v, want [event step]", order)
+	}
+}
+
+func TestEventsSameSlotFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.At(1, func(slot.Time) { order = append(order, 1) })
+	e.At(1, func(slot.Time) { order = append(order, 2) })
+	e.At(0, func(slot.Time) { order = append(order, 0) })
+	e.Run(2)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestPastEventFiresNextStep(t *testing.T) {
+	e := New(1)
+	e.Run(10)
+	fired := slot.Time(-1)
+	e.At(3, func(now slot.Time) { fired = now })
+	e.Step()
+	if fired != 10 {
+		t.Errorf("past event fired at %d, want 10", fired)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New(1)
+	e.Run(7)
+	var fired slot.Time = -1
+	e.After(3, func(now slot.Time) { fired = now })
+	e.Run(11)
+	if fired != 10 {
+		t.Errorf("After(3) fired at %d, want 10", fired)
+	}
+}
+
+func TestEventMayScheduleEvent(t *testing.T) {
+	e := New(1)
+	var hits []slot.Time
+	var recur func(now slot.Time)
+	recur = func(now slot.Time) {
+		hits = append(hits, now)
+		if now < 6 {
+			e.At(now+2, recur)
+		}
+	}
+	e.At(0, recur)
+	e.Run(10)
+	want := []slot.Time{0, 2, 4, 6}
+	if len(hits) != len(want) {
+		t.Fatalf("hits = %v", hits)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("hits = %v, want %v", hits, want)
+		}
+	}
+}
+
+func TestDeterministicRNG(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.RNG().Int63() != b.RNG().Int63() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := New(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if New(42).RNG().Int63() != c.RNG().Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical streams")
+	}
+}

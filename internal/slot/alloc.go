@@ -1,0 +1,77 @@
+// Run-time table allocation: mode changes. The paper loads σ* once at
+// system initialization; real deployments also hot-add and retire
+// pre-defined tasks between operating modes. AllocatePeriodic places
+// a new periodic task into the *free* slots of a live table (leaving
+// every existing reservation untouched), and Release retires one.
+package slot
+
+import (
+	"fmt"
+)
+
+// AllocatePeriodic reserves slots for a new periodic task in the free
+// slots of the table: for every job released at offset + k·period
+// within one hyper-period, the earliest free slots inside its deadline
+// window are assigned. The period must divide the table length so the
+// allocation repeats consistently. On failure the table is left
+// unchanged.
+func (t *Table) AllocatePeriodic(r Requirement) ([]Placement, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	h := Time(t.Len())
+	if h == 0 {
+		return nil, fmt.Errorf("slot: allocate on empty table")
+	}
+	if h%r.Period != 0 {
+		return nil, fmt.Errorf("slot: period %d does not divide hyper-period %d", r.Period, h)
+	}
+	for i := 0; i < t.Len(); i++ {
+		if t.slots[i] == r.ID {
+			return nil, fmt.Errorf("slot: task %d already owns slots", r.ID)
+		}
+	}
+	var assigned []Time
+	rollback := func() {
+		for _, s := range assigned {
+			t.Clear(s)
+		}
+	}
+	var placements []Placement
+	for rel := r.Offset; rel < h; rel += r.Period {
+		p := Placement{Task: r.ID, Release: rel, Deadline: rel + r.Deadline}
+		need := r.WCET
+		for s := rel; s < rel+r.Deadline && need > 0; s++ {
+			if t.IsFree(s) {
+				if err := t.Assign(s, r.ID); err != nil {
+					rollback()
+					return nil, err
+				}
+				assigned = append(assigned, s)
+				p.Slots = append(p.Slots, s%h)
+				need--
+			}
+		}
+		if need > 0 {
+			rollback()
+			return nil, fmt.Errorf("%w: job released at %d short %d slots before deadline %d",
+				ErrOverload, rel, need, p.Deadline)
+		}
+		placements = append(placements, p)
+	}
+	return placements, nil
+}
+
+// Release frees every slot owned by id and returns how many were
+// freed.
+func (t *Table) Release(id TaskID) int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i] == id {
+			t.slots[i] = Free
+			t.free++
+			n++
+		}
+	}
+	return n
+}

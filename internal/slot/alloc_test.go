@@ -1,0 +1,112 @@
+package slot
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAllocatePeriodicBasic(t *testing.T) {
+	tab := NewTable(8)
+	pl, err := tab.AllocatePeriodic(Requirement{ID: 0, Period: 4, WCET: 1, Deadline: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 2 {
+		t.Fatalf("placements = %d, want 2 jobs in H=8", len(pl))
+	}
+	if tab.Owner(0) != 0 || tab.Owner(4) != 0 {
+		t.Errorf("earliest-free placement wrong: %s", tab)
+	}
+	if tab.FreeCount() != 6 {
+		t.Errorf("free = %d", tab.FreeCount())
+	}
+}
+
+func TestAllocatePeriodicAvoidsBusySlots(t *testing.T) {
+	tab := NewTable(8)
+	tab.Assign(0, 9)
+	tab.Assign(4, 9)
+	pl, err := tab.AllocatePeriodic(Requirement{ID: 1, Period: 4, WCET: 1, Deadline: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Owner(1) != 1 || tab.Owner(5) != 1 {
+		t.Errorf("allocation should skip busy slots: %s", tab)
+	}
+	for _, p := range pl {
+		for _, s := range p.Slots {
+			if tab.Owner(s) != 1 {
+				t.Errorf("placement slot %d not owned", s)
+			}
+		}
+	}
+}
+
+func TestAllocatePeriodicRollsBackOnFailure(t *testing.T) {
+	// First job window has room, second doesn't: everything must be
+	// rolled back.
+	tab := NewTable(8)
+	for _, s := range []Time{4, 5, 6, 7} {
+		tab.Assign(s, 9)
+	}
+	before := tab.FreeCount()
+	_, err := tab.AllocatePeriodic(Requirement{ID: 1, Period: 4, WCET: 2, Deadline: 4})
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("err = %v, want ErrOverload", err)
+	}
+	if tab.FreeCount() != before {
+		t.Errorf("rollback incomplete: free %d → %d", before, tab.FreeCount())
+	}
+	for i := Time(0); i < 8; i++ {
+		if tab.Owner(i) == 1 {
+			t.Errorf("slot %d leaked to task 1", i)
+		}
+	}
+}
+
+func TestAllocatePeriodicValidation(t *testing.T) {
+	tab := NewTable(8)
+	if _, err := tab.AllocatePeriodic(Requirement{ID: 0, Period: 3, WCET: 1, Deadline: 3}); err == nil {
+		t.Error("non-dividing period accepted")
+	}
+	if _, err := tab.AllocatePeriodic(Requirement{ID: -1, Period: 4, WCET: 1, Deadline: 4}); err == nil {
+		t.Error("invalid requirement accepted")
+	}
+	empty := NewTable(0)
+	if _, err := empty.AllocatePeriodic(Requirement{ID: 0, Period: 4, WCET: 1, Deadline: 4}); err == nil {
+		t.Error("empty table accepted")
+	}
+	tab.AllocatePeriodic(Requirement{ID: 2, Period: 8, WCET: 1, Deadline: 8})
+	if _, err := tab.AllocatePeriodic(Requirement{ID: 2, Period: 4, WCET: 1, Deadline: 4}); err == nil {
+		t.Error("duplicate owner accepted")
+	}
+}
+
+func TestAllocatePeriodicWithOffsetWraps(t *testing.T) {
+	tab := NewTable(8)
+	// Offset 6, deadline 4: the job's window [6,10) wraps to slots 6,7,0,1.
+	pl, err := tab.AllocatePeriodic(Requirement{ID: 3, Period: 8, WCET: 3, Deadline: 4, Offset: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 1 || len(pl[0].Slots) != 3 {
+		t.Fatalf("placements = %+v", pl)
+	}
+	if tab.Owner(6) != 3 || tab.Owner(7) != 3 || tab.Owner(0) != 3 {
+		t.Errorf("wrapped allocation wrong: %s", tab)
+	}
+}
+
+func TestReleaseFreesSlots(t *testing.T) {
+	tab := NewTable(8)
+	tab.AllocatePeriodic(Requirement{ID: 5, Period: 4, WCET: 2, Deadline: 4})
+	if n := tab.Release(5); n != 4 {
+		t.Errorf("released %d, want 4", n)
+	}
+	if tab.FreeCount() != 8 {
+		t.Errorf("free = %d after release", tab.FreeCount())
+	}
+	if n := tab.Release(5); n != 0 {
+		t.Errorf("double release freed %d", n)
+	}
+}

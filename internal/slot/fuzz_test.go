@@ -1,0 +1,33 @@
+package slot
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzTableJSON checks the table decoder never panics and that
+// accepted tables are internally consistent (free count matches the
+// entries).
+func FuzzTableJSON(f *testing.F) {
+	tab := NewTable(4)
+	tab.Assign(1, 7)
+	seed, _ := json.Marshal(tab)
+	f.Add(seed)
+	f.Add([]byte(`{"slots":[]}`))
+	f.Add([]byte(`{"slots":[-1,-1,3]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got Table
+		if err := json.Unmarshal(data, &got); err != nil {
+			return
+		}
+		free := 0
+		for i := 0; i < got.Len(); i++ {
+			if got.IsFree(Time(i)) {
+				free++
+			}
+		}
+		if free != got.FreeCount() {
+			t.Fatalf("free count %d ≠ recomputed %d", got.FreeCount(), free)
+		}
+	})
+}

@@ -1,0 +1,43 @@
+// JSON serialization of the Time Slot Table: σ* is configuration
+// state loaded into the P-channel memory banks at initialization, so
+// it needs a stable on-disk form for tooling (cmd/ioguard-analyze)
+// and for shipping tables between the offline builder and a deployed
+// system.
+package slot
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// tableJSON is the wire form: one entry per slot, Free as -1.
+type tableJSON struct {
+	Slots []TaskID `json:"slots"`
+}
+
+// MarshalJSON encodes the table as {"slots":[...]} with -1 for free
+// slots.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{Slots: append([]TaskID(nil), t.slots...)})
+}
+
+// UnmarshalJSON decodes a table, validating that every entry is either
+// Free or a non-negative task ID and recomputing the free count.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var w tableJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	free := 0
+	for i, id := range w.Slots {
+		switch {
+		case id == Free:
+			free++
+		case id < 0:
+			return fmt.Errorf("slot: table entry %d has invalid id %d", i, id)
+		}
+	}
+	t.slots = w.Slots
+	t.free = free
+	return nil
+}

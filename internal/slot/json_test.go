@@ -1,0 +1,84 @@
+package slot
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tab := NewTable(6)
+	tab.Assign(1, 0)
+	tab.Assign(4, 3)
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 6 || got.FreeCount() != 4 {
+		t.Fatalf("round trip H=%d F=%d", got.Len(), got.FreeCount())
+	}
+	if got.Owner(1) != 0 || got.Owner(4) != 3 || !got.IsFree(0) {
+		t.Errorf("ownership lost: %s", &got)
+	}
+}
+
+func TestTableJSONRejectsInvalidIDs(t *testing.T) {
+	var tab Table
+	if err := json.Unmarshal([]byte(`{"slots":[-2,0]}`), &tab); err == nil {
+		t.Error("invalid id accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"slots":`), &tab); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestTableJSONEmptyTable(t *testing.T) {
+	data, err := json.Marshal(NewTable(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.FreeCount() != 0 {
+		t.Error("empty table round trip broken")
+	}
+}
+
+func TestTableJSONRoundTripProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		tab := NewTable(len(raw))
+		for i, r := range raw {
+			if r >= 0 {
+				if err := tab.Assign(Time(i), TaskID(r)); err != nil {
+					return false
+				}
+			}
+		}
+		data, err := json.Marshal(tab)
+		if err != nil {
+			return false
+		}
+		var got Table
+		if err := json.Unmarshal(data, &got); err != nil {
+			return false
+		}
+		if got.Len() != tab.Len() || got.FreeCount() != tab.FreeCount() {
+			return false
+		}
+		for i := 0; i < tab.Len(); i++ {
+			if got.Owner(Time(i)) != tab.Owner(Time(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,394 @@
+// Package slot provides the discrete time base of the I/O-GUARD
+// reproduction: time-slot indices, greatest-common-divisor/least-common-
+// multiple arithmetic on slots, and the Time Slot Table σ* that the
+// P-channel of the virtualization manager consults every slot.
+//
+// All scheduling in the paper (Sec. III and IV of Jiang et al., DAC'21)
+// happens at time-slot granularity: pre-defined I/O tasks own fixed
+// slots of σ*, and the remaining free slots form the supply available
+// to the R-channel's two-layer scheduler. The Table type models σ*
+// exactly: a repeating schedule of length H in which every slot is
+// either owned by one pre-defined task or free.
+package slot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Time is a time-slot index (or a count of slots). One slot is the
+// atomic unit of I/O execution and preemption in the hypervisor; the
+// FPGA prototype derives it from the 100 MHz global timer.
+type Time int64
+
+// Never is a sentinel representing an unreachable point in time.
+const Never Time = math.MaxInt64
+
+// TaskID identifies a pre-defined I/O task loaded into the P-channel
+// memory banks. IDs are small non-negative integers assigned at load
+// time.
+type TaskID int32
+
+// Free marks a slot of the time slot table that is not owned by any
+// pre-defined task and is therefore available to the R-channel.
+const Free TaskID = -1
+
+// GCD returns the greatest common divisor of a and b. GCD(0, b) = b.
+func GCD(a, b Time) Time {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b, or 0 when either
+// is 0. It saturates at Never on overflow.
+func LCM(a, b Time) Time {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	g := GCD(a, b)
+	q := a / g
+	if q > Never/b {
+		return Never
+	}
+	return q * b
+}
+
+// LCMAll returns the least common multiple of all values, or 0 when
+// the list is empty.
+func LCMAll(vs ...Time) Time {
+	var l Time
+	for i, v := range vs {
+		if i == 0 {
+			l = v
+			continue
+		}
+		l = LCM(l, v)
+		if l == Never {
+			return Never
+		}
+	}
+	return l
+}
+
+// Table is the Time Slot Table σ*: a repeating schedule of length H
+// whose entries record, for every slot of one hyper-period, which
+// pre-defined task (if any) owns the slot. The infinite table σ used
+// by the analysis in Sec. IV is the infinite repetition of σ*.
+//
+// The zero value is an empty table of length 0; use NewTable.
+type Table struct {
+	slots []TaskID
+	free  int
+}
+
+// NewTable returns an all-free table with hyper-period h.
+func NewTable(h int) *Table {
+	if h < 0 {
+		h = 0
+	}
+	s := make([]TaskID, h)
+	for i := range s {
+		s[i] = Free
+	}
+	return &Table{slots: s, free: h}
+}
+
+// Len returns H, the hyper-period (total number of slots in σ*).
+func (t *Table) Len() int { return len(t.slots) }
+
+// FreeCount returns F, the number of free slots in σ*.
+func (t *Table) FreeCount() int { return t.free }
+
+// Utilization returns the fraction of σ* consumed by pre-defined
+// tasks, i.e. (H-F)/H. It is 0 for an empty table.
+func (t *Table) Utilization() float64 {
+	if len(t.slots) == 0 {
+		return 0
+	}
+	return float64(len(t.slots)-t.free) / float64(len(t.slots))
+}
+
+// index maps an arbitrary (possibly ≥H) slot time onto σ*.
+func (t *Table) index(at Time) int {
+	h := Time(len(t.slots))
+	i := at % h
+	if i < 0 {
+		i += h
+	}
+	return int(i)
+}
+
+// Owner returns the pre-defined task owning slot at (mod H), or Free.
+func (t *Table) Owner(at Time) TaskID {
+	if len(t.slots) == 0 {
+		return Free
+	}
+	return t.slots[t.index(at)]
+}
+
+// IsFree reports whether slot at (mod H) is available to the R-channel.
+func (t *Table) IsFree(at Time) bool { return t.Owner(at) == Free }
+
+// Assign gives slot at (mod H) to task id. It fails if the slot is
+// already owned or id is invalid.
+func (t *Table) Assign(at Time, id TaskID) error {
+	if id < 0 {
+		return fmt.Errorf("slot: invalid task id %d", id)
+	}
+	if len(t.slots) == 0 {
+		return errors.New("slot: assign on empty table")
+	}
+	i := t.index(at)
+	if t.slots[i] != Free {
+		return fmt.Errorf("slot: slot %d already owned by task %d", i, t.slots[i])
+	}
+	t.slots[i] = id
+	t.free--
+	return nil
+}
+
+// Clear releases slot at (mod H) back to the free pool.
+func (t *Table) Clear(at Time) {
+	if len(t.slots) == 0 {
+		return
+	}
+	i := t.index(at)
+	if t.slots[i] != Free {
+		t.slots[i] = Free
+		t.free++
+	}
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := &Table{slots: make([]TaskID, len(t.slots)), free: t.free}
+	copy(c.slots, t.slots)
+	return c
+}
+
+// FreeSlots returns the indices (0 ≤ i < H) of all free slots, in
+// increasing order.
+func (t *Table) FreeSlots() []Time {
+	out := make([]Time, 0, t.free)
+	for i, id := range t.slots {
+		if id == Free {
+			out = append(out, Time(i))
+		}
+	}
+	return out
+}
+
+// NextFree returns the first slot ≥ from that is free in σ, or Never
+// if the table has no free slots at all.
+func (t *Table) NextFree(from Time) Time {
+	if t.free == 0 || len(t.slots) == 0 {
+		return Never
+	}
+	for i := Time(0); i < Time(len(t.slots)); i++ {
+		if t.IsFree(from + i) {
+			return from + i
+		}
+	}
+	return Never
+}
+
+// FreeIn returns the number of free slots in the half-open window
+// [from, from+length) of the infinite table σ.
+func (t *Table) FreeIn(from, length Time) Time {
+	if length <= 0 || len(t.slots) == 0 {
+		return 0
+	}
+	h := Time(len(t.slots))
+	full := length / h
+	n := full * Time(t.free)
+	for i := Time(0); i < length%h; i++ {
+		if t.IsFree(from + i) {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders σ* as a compact single-line schedule, e.g.
+// "|0|0|.|1|.|" where digits are task IDs and '.' is a free slot.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteByte('|')
+	for _, id := range t.slots {
+		if id == Free {
+			b.WriteByte('.')
+		} else {
+			fmt.Fprintf(&b, "%d", id)
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// Requirement describes one pre-defined (periodic) I/O task to be
+// compiled into σ*: it releases a job every Period slots starting at
+// Offset, each job needs WCET slots and must finish within Deadline
+// slots of its release. Deadline ≤ Period (constrained deadlines).
+type Requirement struct {
+	ID       TaskID
+	Period   Time
+	WCET     Time
+	Deadline Time
+	Offset   Time
+}
+
+// Validate reports whether the requirement is internally consistent.
+func (r Requirement) Validate() error {
+	switch {
+	case r.ID < 0:
+		return fmt.Errorf("slot: requirement %d: negative id", r.ID)
+	case r.Period <= 0:
+		return fmt.Errorf("slot: requirement %d: period %d ≤ 0", r.ID, r.Period)
+	case r.WCET <= 0:
+		return fmt.Errorf("slot: requirement %d: wcet %d ≤ 0", r.ID, r.WCET)
+	case r.Deadline <= 0:
+		return fmt.Errorf("slot: requirement %d: deadline %d ≤ 0", r.ID, r.Deadline)
+	case r.Deadline > r.Period:
+		return fmt.Errorf("slot: requirement %d: deadline %d > period %d (constrained deadlines required)", r.ID, r.Deadline, r.Period)
+	case r.WCET > r.Deadline:
+		return fmt.Errorf("slot: requirement %d: wcet %d > deadline %d", r.ID, r.WCET, r.Deadline)
+	case r.Offset < 0 || r.Offset >= r.Period:
+		return fmt.Errorf("slot: requirement %d: offset %d outside [0,%d)", r.ID, r.Offset, r.Period)
+	}
+	return nil
+}
+
+// Placement records the slots granted to one job of a pre-defined
+// task during table construction.
+type Placement struct {
+	Task     TaskID
+	Release  Time
+	Deadline Time
+	Slots    []Time
+}
+
+// ErrOverload is returned by Build when the pre-defined tasks cannot
+// all meet their deadlines within one hyper-period.
+var ErrOverload = errors.New("slot: pre-defined task set is unschedulable")
+
+// Build compiles a set of pre-defined task requirements into a Time
+// Slot Table σ* of length H = lcm(periods), using offline preemptive
+// EDF to place every job of the hyper-period. This mirrors the
+// "loaded during system initialization" step of Sec. II-B: the
+// resulting table fixes, before run time, exactly which slots each
+// pre-defined task executes in.
+//
+// Build fails with ErrOverload if some job cannot meet its deadline.
+func Build(reqs []Requirement) (*Table, []Placement, error) {
+	if len(reqs) == 0 {
+		return NewTable(0), nil, nil
+	}
+	ids := map[TaskID]bool{}
+	periods := make([]Time, 0, len(reqs))
+	for _, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return nil, nil, err
+		}
+		if ids[r.ID] {
+			return nil, nil, fmt.Errorf("slot: duplicate task id %d", r.ID)
+		}
+		ids[r.ID] = true
+		periods = append(periods, r.Period)
+	}
+	h := LCMAll(periods...)
+	if h == Never || h > 1<<22 {
+		return nil, nil, fmt.Errorf("slot: hyper-period %d too large", h)
+	}
+
+	// Expand all jobs of one hyper-period.
+	type job struct {
+		req       Requirement
+		release   Time
+		deadline  Time
+		remaining Time
+		placed    []Time
+	}
+	var jobs []*job
+	for _, r := range reqs {
+		for rel := r.Offset; rel < h; rel += r.Period {
+			jobs = append(jobs, &job{
+				req:       r,
+				release:   rel,
+				deadline:  rel + r.Deadline,
+				remaining: r.WCET,
+			})
+		}
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].deadline != jobs[j].deadline {
+			return jobs[i].deadline < jobs[j].deadline
+		}
+		return jobs[i].release < jobs[j].release
+	})
+
+	tab := NewTable(int(h))
+	// Offline preemptive EDF: walk the slots once; at each slot run
+	// the released, unfinished job with the earliest deadline. Jobs
+	// whose deadline crosses the hyper-period boundary wrap onto the
+	// (identical) next repetition, so we sweep 2H slots but only
+	// place within [release, deadline).
+	for now := Time(0); now < 2*h; now++ {
+		var pick *job
+		for _, j := range jobs {
+			if j.remaining == 0 || j.release > now || now >= j.deadline {
+				continue
+			}
+			if pick == nil || j.deadline < pick.deadline {
+				pick = j
+			}
+		}
+		if pick == nil {
+			continue
+		}
+		if !tab.IsFree(now) {
+			continue // slot already taken by a wrapped earlier placement
+		}
+		if err := tab.Assign(now, pick.req.ID); err != nil {
+			return nil, nil, err
+		}
+		pick.placed = append(pick.placed, now%h)
+		pick.remaining--
+	}
+	placements := make([]Placement, 0, len(jobs))
+	for _, j := range jobs {
+		if j.remaining > 0 {
+			return nil, nil, fmt.Errorf("%w: task %d job released at %d misses deadline %d",
+				ErrOverload, j.req.ID, j.release, j.deadline)
+		}
+		placements = append(placements, Placement{
+			Task:     j.req.ID,
+			Release:  j.release,
+			Deadline: j.deadline,
+			Slots:    j.placed,
+		})
+	}
+	sort.Slice(placements, func(i, j int) bool {
+		if placements[i].Release != placements[j].Release {
+			return placements[i].Release < placements[j].Release
+		}
+		return placements[i].Task < placements[j].Task
+	})
+	return tab, placements, nil
+}

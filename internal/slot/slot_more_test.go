@@ -1,0 +1,118 @@
+package slot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBuildUtilizationMatchesTaskSet: a successful Build consumes
+// exactly ΣC/T of the table.
+func TestBuildUtilizationMatchesTaskSet(t *testing.T) {
+	reqs := []Requirement{
+		{ID: 0, Period: 8, WCET: 2, Deadline: 8},
+		{ID: 1, Period: 16, WCET: 4, Deadline: 16},
+		{ID: 2, Period: 4, WCET: 1, Deadline: 4},
+	}
+	tab, _, err := Build(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0/8 + 4.0/16 + 1.0/4
+	if got := tab.Utilization(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("table utilization %v, want %v", got, want)
+	}
+}
+
+// TestBuildEachTaskGetsExactBudget: every task owns exactly
+// WCET × (H/Period) slots of σ*.
+func TestBuildEachTaskGetsExactBudget(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := []Requirement{
+			{ID: 0, Period: 8, WCET: Time(1 + rng.Intn(3)), Deadline: 8},
+			{ID: 1, Period: 16, WCET: Time(1 + rng.Intn(4)), Deadline: 16},
+		}
+		tab, _, err := Build(reqs)
+		if err != nil {
+			return true // overload draws are fine
+		}
+		h := Time(tab.Len())
+		for _, r := range reqs {
+			owned := Time(0)
+			for i := Time(0); i < h; i++ {
+				if tab.Owner(i) == r.ID {
+					owned++
+				}
+			}
+			if owned != r.WCET*(h/r.Period) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuildDeterministic: identical requirements always yield the
+// identical table (the offline builder is part of the reproducible
+// toolchain).
+func TestBuildDeterministic(t *testing.T) {
+	reqs := []Requirement{
+		{ID: 0, Period: 8, WCET: 2, Deadline: 6, Offset: 1},
+		{ID: 1, Period: 16, WCET: 5, Deadline: 16},
+	}
+	a, _, err := Build(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Build(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("non-deterministic build:\n%s\n%s", a, b)
+	}
+}
+
+func TestFreeInFullPeriods(t *testing.T) {
+	tab := NewTable(4)
+	tab.Assign(0, 1)
+	// length exactly k*H from any start must be k*F.
+	for start := Time(0); start < 4; start++ {
+		for k := Time(1); k <= 3; k++ {
+			if got := tab.FreeIn(start, 4*k); got != 3*k {
+				t.Errorf("FreeIn(%d,%d) = %d, want %d", start, 4*k, got, 3*k)
+			}
+		}
+	}
+}
+
+func TestNextFreeFromNegative(t *testing.T) {
+	tab := NewTable(4)
+	tab.Assign(0, 1)
+	got := tab.NextFree(-3) // slot -3 ≡ 1 (mod 4), free
+	if got != -3 {
+		t.Errorf("NextFree(-3) = %d, want -3", got)
+	}
+}
+
+func TestTableUtilizationEmpty(t *testing.T) {
+	if NewTable(0).Utilization() != 0 {
+		t.Error("empty table utilization should be 0")
+	}
+}
+
+// TestBuildRejectsHugeHyperperiod guards the LCM explosion path.
+func TestBuildRejectsHugeHyperperiod(t *testing.T) {
+	reqs := []Requirement{
+		{ID: 0, Period: 1 << 21, WCET: 1, Deadline: 1 << 21},
+		{ID: 1, Period: (1 << 21) - 1, WCET: 1, Deadline: (1 << 21) - 1}, // coprime
+	}
+	if _, _, err := Build(reqs); err == nil {
+		t.Error("astronomical hyper-period accepted")
+	}
+}

@@ -1,0 +1,431 @@
+package slot
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want Time }{
+		{0, 0, 0},
+		{0, 5, 5},
+		{5, 0, 5},
+		{12, 18, 6},
+		{18, 12, 6},
+		{7, 13, 1},
+		{-12, 18, 6},
+		{12, -18, 6},
+		{100, 100, 100},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct{ a, b, want Time }{
+		{0, 5, 0},
+		{5, 0, 0},
+		{4, 6, 12},
+		{7, 13, 91},
+		{10, 10, 10},
+		{1, 9, 9},
+	}
+	for _, c := range cases {
+		if got := LCM(c.a, c.b); got != c.want {
+			t.Errorf("LCM(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCMOverflowSaturates(t *testing.T) {
+	if got := LCM(Never-1, Never-2); got != Never {
+		t.Errorf("LCM near max = %d, want Never", got)
+	}
+}
+
+func TestLCMAll(t *testing.T) {
+	if got := LCMAll(); got != 0 {
+		t.Errorf("LCMAll() = %d, want 0", got)
+	}
+	if got := LCMAll(4, 6, 10); got != 60 {
+		t.Errorf("LCMAll(4,6,10) = %d, want 60", got)
+	}
+	if got := LCMAll(5); got != 5 {
+		t.Errorf("LCMAll(5) = %d, want 5", got)
+	}
+}
+
+func TestGCDLCMProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := Time(a), Time(b)
+		if x == 0 || y == 0 {
+			return LCM(x, y) == 0
+		}
+		g, l := GCD(x, y), LCM(x, y)
+		ax, ay := x, y
+		if ax < 0 {
+			ax = -ax
+		}
+		if ay < 0 {
+			ay = -ay
+		}
+		return g*l == ax*ay && l%ax == 0 && l%ay == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewTable(t *testing.T) {
+	tab := NewTable(10)
+	if tab.Len() != 10 || tab.FreeCount() != 10 {
+		t.Fatalf("NewTable(10): len=%d free=%d", tab.Len(), tab.FreeCount())
+	}
+	if tab.Utilization() != 0 {
+		t.Errorf("empty table utilization = %v, want 0", tab.Utilization())
+	}
+	if !tab.IsFree(3) || !tab.IsFree(13) || !tab.IsFree(-7) {
+		t.Error("all slots of a new table should be free (mod H)")
+	}
+}
+
+func TestNewTableNegative(t *testing.T) {
+	tab := NewTable(-5)
+	if tab.Len() != 0 {
+		t.Errorf("NewTable(-5).Len() = %d, want 0", tab.Len())
+	}
+}
+
+func TestAssignClear(t *testing.T) {
+	tab := NewTable(8)
+	if err := tab.Assign(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Owner(3) != 7 || tab.Owner(11) != 7 || tab.Owner(-5) != 7 {
+		t.Error("Owner should wrap mod H")
+	}
+	if tab.FreeCount() != 7 {
+		t.Errorf("free = %d, want 7", tab.FreeCount())
+	}
+	if err := tab.Assign(11, 2); err == nil {
+		t.Error("double assign (mod H) should fail")
+	}
+	if err := tab.Assign(4, -1); err == nil {
+		t.Error("assign with negative id should fail")
+	}
+	tab.Clear(11)
+	if !tab.IsFree(3) || tab.FreeCount() != 8 {
+		t.Error("Clear should free the slot mod H")
+	}
+	tab.Clear(3) // double clear is a no-op
+	if tab.FreeCount() != 8 {
+		t.Error("double Clear changed free count")
+	}
+}
+
+func TestAssignEmptyTable(t *testing.T) {
+	tab := NewTable(0)
+	if err := tab.Assign(0, 1); err == nil {
+		t.Error("assign on empty table should fail")
+	}
+	tab.Clear(0) // must not panic
+	if tab.Owner(5) != Free {
+		t.Error("empty table owner should be Free")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tab := NewTable(4)
+	tab.Assign(0, 1)
+	tab.Assign(1, 1)
+	if got := tab.Utilization(); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	tab := NewTable(4)
+	tab.Assign(2, 9)
+	c := tab.Clone()
+	c.Clear(2)
+	if tab.Owner(2) != 9 {
+		t.Error("Clone must not share state")
+	}
+	if c.FreeCount() != 4 {
+		t.Error("clone free count wrong after Clear")
+	}
+}
+
+func TestFreeSlots(t *testing.T) {
+	tab := NewTable(5)
+	tab.Assign(1, 0)
+	tab.Assign(3, 1)
+	got := tab.FreeSlots()
+	want := []Time{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("FreeSlots = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FreeSlots = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNextFree(t *testing.T) {
+	tab := NewTable(4)
+	tab.Assign(0, 1)
+	tab.Assign(1, 1)
+	if got := tab.NextFree(0); got != 2 {
+		t.Errorf("NextFree(0) = %d, want 2", got)
+	}
+	if got := tab.NextFree(3); got != 3 {
+		t.Errorf("NextFree(3) = %d, want 3", got)
+	}
+	if got := tab.NextFree(4); got != 6 {
+		t.Errorf("NextFree(4) = %d, want 6 (wraps to slot 2)", got)
+	}
+	full := NewTable(2)
+	full.Assign(0, 1)
+	full.Assign(1, 2)
+	if got := full.NextFree(0); got != Never {
+		t.Errorf("NextFree on full table = %d, want Never", got)
+	}
+}
+
+func TestFreeIn(t *testing.T) {
+	tab := NewTable(4)
+	tab.Assign(0, 1)
+	// free slots: 1,2,3 → F=3
+	if got := tab.FreeIn(0, 4); got != 3 {
+		t.Errorf("FreeIn(0,4) = %d, want 3", got)
+	}
+	if got := tab.FreeIn(0, 8); got != 6 {
+		t.Errorf("FreeIn(0,8) = %d, want 6", got)
+	}
+	if got := tab.FreeIn(3, 2); got != 1 {
+		t.Errorf("FreeIn(3,2) = %d, want 1 (slot 3 free, slot 0 busy)", got)
+	}
+	if got := tab.FreeIn(0, 0); got != 0 {
+		t.Errorf("FreeIn(0,0) = %d, want 0", got)
+	}
+	if got := tab.FreeIn(0, -3); got != 0 {
+		t.Errorf("FreeIn negative length = %d, want 0", got)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := NewTable(3)
+	tab.Assign(1, 5)
+	s := tab.String()
+	if !strings.Contains(s, "5") || !strings.HasPrefix(s, "|.") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRequirementValidate(t *testing.T) {
+	good := Requirement{ID: 0, Period: 10, WCET: 2, Deadline: 8, Offset: 0}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid requirement rejected: %v", err)
+	}
+	bad := []Requirement{
+		{ID: -1, Period: 10, WCET: 2, Deadline: 8},
+		{ID: 0, Period: 0, WCET: 2, Deadline: 8},
+		{ID: 0, Period: 10, WCET: 0, Deadline: 8},
+		{ID: 0, Period: 10, WCET: 2, Deadline: 0},
+		{ID: 0, Period: 10, WCET: 2, Deadline: 12},
+		{ID: 0, Period: 10, WCET: 9, Deadline: 8},
+		{ID: 0, Period: 10, WCET: 2, Deadline: 8, Offset: 10},
+		{ID: 0, Period: 10, WCET: 2, Deadline: 8, Offset: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: invalid requirement %+v accepted", i, r)
+		}
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	tab, pl, err := Build(nil)
+	if err != nil || tab.Len() != 0 || len(pl) != 0 {
+		t.Fatalf("Build(nil) = %v,%v,%v", tab, pl, err)
+	}
+}
+
+func TestBuildSingle(t *testing.T) {
+	tab, pl, err := Build([]Requirement{{ID: 0, Period: 5, WCET: 2, Deadline: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 5 {
+		t.Fatalf("H = %d, want 5", tab.Len())
+	}
+	if tab.FreeCount() != 3 {
+		t.Errorf("F = %d, want 3", tab.FreeCount())
+	}
+	if len(pl) != 1 {
+		t.Fatalf("placements = %d, want 1", len(pl))
+	}
+	if len(pl[0].Slots) != 2 {
+		t.Errorf("placed slots = %v, want 2 slots", pl[0].Slots)
+	}
+	// EDF from time 0 places the job in its first two slots.
+	if tab.Owner(0) != 0 || tab.Owner(1) != 0 {
+		t.Errorf("expected slots 0,1 owned by task 0: %s", tab)
+	}
+}
+
+func TestBuildTwoTasksEDF(t *testing.T) {
+	// Task 1 has the tighter deadline and must run first under EDF.
+	reqs := []Requirement{
+		{ID: 0, Period: 10, WCET: 3, Deadline: 10},
+		{ID: 1, Period: 10, WCET: 2, Deadline: 4},
+	}
+	tab, _, err := Build(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 10 || tab.FreeCount() != 5 {
+		t.Fatalf("H=%d F=%d, want 10/5", tab.Len(), tab.FreeCount())
+	}
+	if tab.Owner(0) != 1 || tab.Owner(1) != 1 {
+		t.Errorf("EDF should give first slots to tighter-deadline task: %s", tab)
+	}
+	if tab.Owner(2) != 0 || tab.Owner(3) != 0 || tab.Owner(4) != 0 {
+		t.Errorf("task 0 should follow: %s", tab)
+	}
+}
+
+func TestBuildHyperperiod(t *testing.T) {
+	reqs := []Requirement{
+		{ID: 0, Period: 4, WCET: 1, Deadline: 4},
+		{ID: 1, Period: 6, WCET: 1, Deadline: 6},
+	}
+	tab, pl, err := Build(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 12 {
+		t.Fatalf("H = %d, want lcm(4,6)=12", tab.Len())
+	}
+	// 3 jobs of task 0 + 2 jobs of task 1 = 5 placements, 5 busy slots.
+	if len(pl) != 5 {
+		t.Errorf("placements = %d, want 5", len(pl))
+	}
+	if tab.FreeCount() != 7 {
+		t.Errorf("F = %d, want 7", tab.FreeCount())
+	}
+}
+
+func TestBuildWithOffset(t *testing.T) {
+	tab, pl, err := Build([]Requirement{{ID: 0, Period: 6, WCET: 1, Deadline: 3, Offset: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Owner(2) != 0 {
+		t.Errorf("offset job should start at slot 2: %s", tab)
+	}
+	if pl[0].Release != 2 {
+		t.Errorf("release = %d, want 2", pl[0].Release)
+	}
+}
+
+func TestBuildOverload(t *testing.T) {
+	reqs := []Requirement{
+		{ID: 0, Period: 4, WCET: 3, Deadline: 4},
+		{ID: 1, Period: 4, WCET: 3, Deadline: 4},
+	}
+	_, _, err := Build(reqs)
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("err = %v, want ErrOverload", err)
+	}
+}
+
+func TestBuildDuplicateID(t *testing.T) {
+	reqs := []Requirement{
+		{ID: 0, Period: 4, WCET: 1, Deadline: 4},
+		{ID: 0, Period: 8, WCET: 1, Deadline: 8},
+	}
+	if _, _, err := Build(reqs); err == nil {
+		t.Error("duplicate IDs should be rejected")
+	}
+}
+
+func TestBuildInvalidRequirement(t *testing.T) {
+	if _, _, err := Build([]Requirement{{ID: 0, Period: -1, WCET: 1, Deadline: 1}}); err == nil {
+		t.Error("invalid requirement should be rejected")
+	}
+}
+
+func TestBuildPlacementsMeetDeadlines(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var reqs []Requirement
+		n := 1 + rng.Intn(4)
+		periods := []Time{4, 8, 16, 32}
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			c := Time(1 + rng.Intn(2))
+			d := c + Time(rng.Intn(int(p-c)+1))
+			if d > p {
+				d = p
+			}
+			reqs = append(reqs, Requirement{ID: TaskID(i), Period: p, WCET: c, Deadline: d})
+		}
+		tab, pls, err := Build(reqs)
+		if errors.Is(err, ErrOverload) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		h := Time(tab.Len())
+		for _, pl := range pls {
+			if len(pl.Slots) == 0 {
+				t.Fatalf("trial %d: empty placement %+v", trial, pl)
+			}
+			for _, s := range pl.Slots {
+				// Slot must fall inside [release, deadline) modulo H.
+				in := false
+				for base := Time(0); base <= 2*h; base += h {
+					abs := s + base
+					if abs >= pl.Release && abs < pl.Deadline {
+						in = true
+						break
+					}
+				}
+				if !in {
+					t.Fatalf("trial %d: slot %d outside window [%d,%d) of task %d",
+						trial, s, pl.Release, pl.Deadline, pl.Task)
+				}
+				if tab.Owner(s) != pl.Task {
+					t.Fatalf("trial %d: table owner mismatch at %d", trial, s)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildFreeCountConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs := []Requirement{
+			{ID: 0, Period: Time(4 << rng.Intn(3)), WCET: 1, Deadline: 4},
+			{ID: 1, Period: 8, WCET: Time(1 + rng.Intn(3)), Deadline: 8},
+		}
+		tab, _, err := Build(reqs)
+		if err != nil {
+			return true
+		}
+		return tab.FreeCount() == len(tab.FreeSlots())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+// Per-task breakdowns of a trial: which tasks missed, and each task's
+// response-time distribution. Used by examples and debugging; the
+// headline metrics stay in metrics.TrialResult.
+package system
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ioguard/internal/metrics"
+	"ioguard/internal/task"
+)
+
+// TaskStat summarizes one task's completions within a trial.
+type TaskStat struct {
+	Task      *task.Sporadic
+	Completed int64
+	Misses    int64
+	Response  metrics.Sample
+}
+
+// ByTask folds the collector's completions into per-task statistics,
+// keyed by task ID.
+func (c *Collector) ByTask() map[int]*TaskStat {
+	out := map[int]*TaskStat{}
+	for i, j := range c.jobs {
+		st, ok := out[j.Task.ID]
+		if !ok {
+			st = &TaskStat{Task: j.Task}
+			out[j.Task.ID] = st
+		}
+		st.Completed++
+		st.Response.AddTime(c.at[i] - j.Release)
+		if c.at[i] > j.Deadline {
+			st.Misses++
+		}
+	}
+	return out
+}
+
+// RenderByTask prints per-task statistics sorted by (misses desc,
+// id asc) — the misbehaving tasks surface first.
+func RenderByTask(stats map[int]*TaskStat) string {
+	ids := make([]int, 0, len(stats))
+	for id := range stats {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		sa, sb := stats[ids[a]], stats[ids[b]]
+		if sa.Misses != sb.Misses {
+			return sa.Misses > sb.Misses
+		}
+		return ids[a] < ids[b]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %6s %6s %10s %10s\n", "task", "done", "miss", "mean-resp", "p99-resp")
+	for _, id := range ids {
+		st := stats[id]
+		fmt.Fprintf(&b, "%-24s %6d %6d %10.1f %10.0f\n",
+			st.Task.Name, st.Completed, st.Misses, st.Response.Mean(), st.Response.Percentile(99))
+	}
+	return b.String()
+}

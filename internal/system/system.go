@@ -1,0 +1,163 @@
+// Package system defines the common harness under which all four
+// architectures of the evaluation (Sec. V) execute identical
+// workloads: a System accepts released I/O jobs and is stepped by the
+// global timer; a Collector records observed completions; Run drives
+// one trial and scores it with the paper's metrics.
+package system
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ioguard/internal/metrics"
+	"ioguard/internal/rtos"
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+	"ioguard/internal/vm"
+)
+
+// System is one complete architecture under test.
+type System interface {
+	// Name identifies the system (and its configuration) in reports.
+	Name() string
+	// Arch returns the underlying architecture class.
+	Arch() rtos.Arch
+	// Residual returns the tasks an external release engine must
+	// drive. Systems that pre-load tasks internally (the I/O-GUARD
+	// P-channel) exclude those from the residual.
+	Residual() task.Set
+	// Submit delivers a job released by its VM at slot now.
+	Submit(now slot.Time, j *task.Job)
+	// Step advances the system by one slot; call once per slot.
+	Step(now slot.Time)
+	// Pending visits jobs still buffered inside the system.
+	Pending(visit func(j *task.Job))
+	// Dropped returns the count of jobs rejected by full queues.
+	Dropped() int64
+}
+
+// Collector records observed completions. Systems call Complete from
+// their response paths; the collector keeps the observation time
+// (which includes response latency) separate from the job's raw
+// Finish slot.
+type Collector struct {
+	jobs []*task.Job
+	at   []slot.Time
+}
+
+// Complete records that j's requester observed completion at slot at.
+func (c *Collector) Complete(j *task.Job, at slot.Time) {
+	c.jobs = append(c.jobs, j)
+	c.at = append(c.at, at)
+}
+
+// Completed returns the number of recorded completions.
+func (c *Collector) Completed() int { return len(c.jobs) }
+
+// Each visits the recorded completions in order.
+func (c *Collector) Each(visit func(j *task.Job, at slot.Time)) {
+	for i, j := range c.jobs {
+		visit(j, c.at[i])
+	}
+}
+
+// critical reports whether a task's deadline misses fail the trial
+// (safety and function tasks; synthetic load does not count).
+func critical(t *task.Sporadic) bool {
+	return t.Kind == task.Safety || t.Kind == task.Function
+}
+
+// Result scores a finished trial: completed jobs are checked against
+// their deadlines at the *observed* completion time; jobs still
+// pending whose deadline has passed count as misses; pending jobs
+// whose deadline lies beyond the horizon are censored.
+func (c *Collector) Result(sys System, horizon slot.Time) *metrics.TrialResult {
+	res := &metrics.TrialResult{Horizon: horizon, Dropped: sys.Dropped()}
+	for i, j := range c.jobs {
+		res.Completed++
+		res.BytesServed += int64(j.Task.OpBytes)
+		res.Response.AddTime(c.at[i] - j.Release)
+		tard := c.at[i] - j.Deadline
+		if tard < 0 {
+			tard = 0
+		}
+		res.Tardiness.AddTime(tard)
+		if c.at[i] > j.Deadline {
+			if critical(j.Task) {
+				res.CriticalMisses++
+			} else {
+				res.OtherMisses++
+			}
+		}
+	}
+	sys.Pending(func(j *task.Job) {
+		res.Unfinished++
+		if j.Deadline < horizon {
+			if critical(j.Task) {
+				res.CriticalMisses++
+			} else {
+				res.OtherMisses++
+			}
+		}
+	})
+	return res
+}
+
+// Trial parameterizes one execution.
+type Trial struct {
+	VMs     int
+	Tasks   task.Set
+	Horizon slot.Time
+	Seed    int64
+}
+
+// Builder constructs a system wired to a collector. It receives the
+// full workload; the returned system's Residual() tells the runner
+// which tasks to drive externally.
+type Builder func(tr Trial, col *Collector) (System, error)
+
+// Run executes one trial: a deterministic VM fleet releases the
+// system's residual tasks while the system steps once per slot, then
+// the collector scores the outcome.
+func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
+	if tr.Horizon <= 0 {
+		return nil, fmt.Errorf("system: non-positive horizon %d", tr.Horizon)
+	}
+	if err := tr.Tasks.Validate(); err != nil {
+		return nil, err
+	}
+	col := &Collector{}
+	sys, err := build(tr, col)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(tr.Seed))
+	fleet, err := vm.NewFleet(tr.VMs, sys.Residual(), rng)
+	if err != nil {
+		return nil, err
+	}
+	for now := slot.Time(0); now < tr.Horizon; now++ {
+		fleet.Release(now, func(j *task.Job) { sys.Submit(now, j) })
+		sys.Step(now)
+	}
+	res := col.Result(sys, tr.Horizon)
+	res.Released = fleet.Released()
+	return res, nil
+}
+
+// Sweep runs `trials` independent seeds of one configuration and
+// aggregates them (the paper repeats each configuration 1000 times;
+// callers choose how many fit their budget).
+func Sweep(build Builder, tr Trial, trials int) (*metrics.Aggregate, error) {
+	agg := &metrics.Aggregate{}
+	for i := 0; i < trials; i++ {
+		t := tr
+		t.Seed = tr.Seed + int64(i)*7919
+		res, err := Run(build, t)
+		if err != nil {
+			return nil, err
+		}
+		agg.AddTrial(res)
+	}
+	return agg, nil
+}

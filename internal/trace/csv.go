@@ -1,0 +1,37 @@
+// CSV export of execution traces, for offline analysis of schedules
+// in spreadsheet/plotting tools.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV streams the recorded events as CSV with the header
+// slot,event,task,vm,job,deadline.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"slot", "event", "task", "vm", "job", "deadline"}); err != nil {
+		return err
+	}
+	for _, e := range r.events {
+		rec := []string{
+			strconv.FormatInt(int64(e.At), 10),
+			e.Kind.String(),
+			e.Job.Task.Name,
+			strconv.Itoa(e.Job.Task.VM),
+			strconv.Itoa(e.Job.Seq),
+			strconv.FormatInt(int64(e.Job.Deadline), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flushing csv: %w", err)
+	}
+	return nil
+}

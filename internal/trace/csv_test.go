@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+
+	"ioguard/internal/task"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var r Recorder
+	tk := &task.Sporadic{ID: 0, Name: "crc", VM: 2, Period: 10, WCET: 2, Deadline: 8}
+	j := task.NewJob(tk, 3, 0)
+	r.OnRelease(0, j)
+	r.OnExecute(1, j)
+	r.OnComplete(j, 4)
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 3 events
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if strings.Join(rows[0], ",") != "slot,event,task,vm,job,deadline" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][1] != "release" || rows[2][1] != "execute" || rows[3][1] != "complete" {
+		t.Errorf("event column wrong: %v", rows)
+	}
+	if rows[2][0] != "1" || rows[2][2] != "crc" || rows[2][3] != "2" || rows[2][4] != "3" || rows[2][5] != "8" {
+		t.Errorf("execute row = %v", rows[2])
+	}
+}
+
+// failingWriter errors after n bytes, exercising the error paths.
+type failingWriter struct{ left int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if len(p) > f.left {
+		return 0, errors.New("disk full")
+	}
+	f.left -= len(p)
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	var r Recorder
+	tk := &task.Sporadic{ID: 0, Name: "x", VM: 0, Period: 10, WCET: 1, Deadline: 10}
+	for i := 0; i < 100; i++ {
+		r.OnExecute(0, task.NewJob(tk, i, 0))
+	}
+	if err := r.WriteCSV(&failingWriter{left: 64}); err == nil {
+		t.Error("write error swallowed")
+	}
+}

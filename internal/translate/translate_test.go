@@ -1,0 +1,206 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ioguard/internal/iodev"
+	"ioguard/internal/packet"
+)
+
+func TestOpcodeStrings(t *testing.T) {
+	names := map[Opcode]string{
+		RegWrite: "regw", RegRead: "regr", DMASetup: "dma",
+		Start: "start", WaitIRQ: "wirq", MemCopy: "memcp", CRCCheck: "crc",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if !strings.Contains(Opcode(99).String(), "99") {
+		t.Error("unknown opcode should show numerically")
+	}
+}
+
+func TestNewTranslatorValidation(t *testing.T) {
+	if _, err := NewTranslator(iodev.Model{}); err == nil {
+		t.Error("invalid model accepted")
+	}
+	tr, err := NewTranslator(iodev.SPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Model().Name != "spi" {
+		t.Error("model not retained")
+	}
+}
+
+func TestTranslateShapes(t *testing.T) {
+	tr, _ := NewTranslator(iodev.SPI)
+	write, err := tr.Translate(packet.Write, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read, err := tr.Translate(packet.Read, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A read additionally copies the payload back.
+	if len(read) != len(write)+1 {
+		t.Errorf("read len %d, write len %d (read should add MemCopy)", len(read), len(write))
+	}
+	last := read[len(read)-1]
+	if last.Op != MemCopy || last.Arg != 64 {
+		t.Errorf("read should end in MemCopy of the payload: %v", last)
+	}
+	cfg, err := tr.Translate(packet.Config, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg) != 2 {
+		t.Errorf("config program = %d instrs, want 2", len(cfg))
+	}
+	if _, err := tr.Translate(packet.Op(99), 4); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := tr.Translate(packet.Write, -1); err == nil {
+		t.Error("negative payload accepted")
+	}
+}
+
+func TestFramedProtocolsCheckCRC(t *testing.T) {
+	can, _ := NewTranslator(iodev.CAN) // 47 overhead bits → framed
+	spi, _ := NewTranslator(iodev.SPI) // 16 overhead bits → unframed
+	hasCRC := func(p Program) bool {
+		for _, ins := range p {
+			if ins.Op == CRCCheck {
+				return true
+			}
+		}
+		return false
+	}
+	pc, _ := can.Translate(packet.Write, 8)
+	ps, _ := spi.Translate(packet.Write, 8)
+	if !hasCRC(pc) {
+		t.Error("CAN writes should verify CRC")
+	}
+	if hasCRC(ps) {
+		t.Error("SPI writes should not carry a CRC instruction")
+	}
+}
+
+func TestProgramCyclesAndWCET(t *testing.T) {
+	p := Program{
+		{Op: RegWrite}, {Op: Start}, {Op: WaitIRQ},
+	}
+	if got := p.Cycles(); got != 2+1+4 {
+		t.Errorf("Cycles = %d, want 7", got)
+	}
+	if got := p.WCETSlots(); got != 1 {
+		t.Errorf("WCETSlots = %d, want 1 (7 cycles < 100)", got)
+	}
+	var big Program
+	for i := 0; i < 30; i++ {
+		big = append(big, Instruction{Op: CRCCheck}) // 300 cycles
+	}
+	if got := big.WCETSlots(); got != 3 {
+		t.Errorf("WCETSlots = %d, want 3", got)
+	}
+	if (Program{}).WCETSlots() != 1 {
+		t.Error("empty program still costs one slot to issue")
+	}
+}
+
+func TestTranslateResponse(t *testing.T) {
+	tr, _ := NewTranslator(iodev.Ethernet)
+	r, err := tr.TranslateResponse(packet.Read, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 || r[1].Op != MemCopy {
+		t.Errorf("read response program = %v", r)
+	}
+	w, _ := tr.TranslateResponse(packet.Write, 256)
+	if len(w) != 1 {
+		t.Errorf("write response program = %v", w)
+	}
+	if _, err := tr.TranslateResponse(packet.Read, -2); err == nil {
+		t.Error("negative payload accepted")
+	}
+}
+
+func TestWorstCaseRequestSlotsBoundsAllOps(t *testing.T) {
+	for _, m := range iodev.Catalog() {
+		tr, err := NewTranslator(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := tr.WorstCaseRequestSlots(1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range []packet.Op{packet.Read, packet.Write, packet.Config} {
+			p, _ := tr.Translate(op, 1500)
+			if p.WCETSlots() > worst {
+				t.Errorf("%s/%v: program WCET %d exceeds bound %d", m.Name, op, p.WCETSlots(), worst)
+			}
+		}
+		if worst < 1 || worst > 4 {
+			t.Errorf("%s: worst-case translation %d slots outside the bounded-translator range", m.Name, worst)
+		}
+	}
+}
+
+func TestTranslationDeterministic(t *testing.T) {
+	f := func(payload uint16, writeOp bool) bool {
+		tr, _ := NewTranslator(iodev.FlexRay)
+		op := packet.Read
+		if writeOp {
+			op = packet.Write
+		}
+		a, err1 := tr.Translate(op, int(payload))
+		b, err2 := tr.Translate(op, int(payload))
+		if err1 != nil || err2 != nil || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBankBytes(t *testing.T) {
+	tr, _ := NewTranslator(iodev.SPI)
+	n, err := tr.BankBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n > 4096 {
+		t.Errorf("BankBytes = %d, want a small positive bank", n)
+	}
+	// A framed protocol's driver is at least as large.
+	trCAN, _ := NewTranslator(iodev.CAN)
+	nc, _ := trCAN.BankBytes()
+	if nc < n {
+		t.Errorf("CAN bank %d should be ≥ SPI bank %d", nc, n)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	s := Instruction{Op: RegWrite, Reg: 3, Arg: 16}.String()
+	if !strings.Contains(s, "regw") || !strings.Contains(s, "r3") || !strings.Contains(s, "0x10") {
+		t.Errorf("String = %q", s)
+	}
+	p := Program{{Op: Start}}
+	if !strings.Contains(p.String(), "start") {
+		t.Errorf("Program.String = %q", p.String())
+	}
+}

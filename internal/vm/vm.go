@@ -1,0 +1,126 @@
+// Package vm models the guest virtual machines of the evaluation
+// platform: each VM runs an RTOS hosting a set of I/O tasks, and its
+// release engine generates the tasks' jobs — periodically for
+// pre-defined-style tasks, sporadically (period plus bounded jitter)
+// for run-time tasks (Sec. II-B).
+//
+// The engine is deliberately deterministic given its random source,
+// so the same seed produces "identical data input to the examined
+// systems in each execution" as required for the paper's fair
+// comparisons.
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+// Guest is one virtual machine's release engine.
+type Guest struct {
+	id    int
+	specs []*task.Sporadic
+	next  []slot.Time
+	seq   []int
+	rng   *rand.Rand
+
+	released int64
+}
+
+// NewGuest builds a guest for VM id owning the given tasks. Every
+// task's first release is drawn uniformly from [0, Period) to
+// desynchronize the VMs; subsequent releases respect the sporadic
+// minimum separation plus up to Jitter extra delay.
+func NewGuest(id int, ts task.Set, rng *rand.Rand) (*Guest, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("vm: guest %d needs a random source", id)
+	}
+	g := &Guest{id: id, rng: rng}
+	for i := range ts {
+		t := ts[i]
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if t.VM != id {
+			return nil, fmt.Errorf("vm: task %d belongs to vm %d, not %d", t.ID, t.VM, id)
+		}
+		spec := t
+		g.specs = append(g.specs, &spec)
+		g.next = append(g.next, slot.Time(rng.Int63n(int64(t.Period))))
+		g.seq = append(g.seq, 0)
+	}
+	return g, nil
+}
+
+// ID returns the VM index.
+func (g *Guest) ID() int { return g.id }
+
+// Tasks returns the guest's task specs (shared pointers: the jobs the
+// guest releases reference them).
+func (g *Guest) Tasks() []*task.Sporadic { return g.specs }
+
+// Released returns how many jobs the guest has released so far.
+func (g *Guest) Released() int64 { return g.released }
+
+// Release emits every job due at slot now. Call once per slot, in
+// increasing time order.
+func (g *Guest) Release(now slot.Time, emit func(j *task.Job)) {
+	for i, spec := range g.specs {
+		for g.next[i] <= now {
+			j := task.NewJob(spec, g.seq[i], g.next[i])
+			g.seq[i]++
+			g.released++
+			gap := spec.Period
+			if spec.Jitter > 0 {
+				gap += slot.Time(g.rng.Int63n(int64(spec.Jitter) + 1))
+			}
+			g.next[i] += gap
+			emit(j)
+		}
+	}
+}
+
+// Fleet is a set of guests released in VM order.
+type Fleet []*Guest
+
+// NewFleet partitions ts by VM and builds one guest per VM, numbered
+// 0..vms-1. VMs without tasks get an empty guest. All guests share
+// the given random source.
+func NewFleet(vms int, ts task.Set, rng *rand.Rand) (Fleet, error) {
+	if vms <= 0 {
+		return nil, fmt.Errorf("vm: need at least one VM, got %d", vms)
+	}
+	byVM := ts.ByVM()
+	fleet := make(Fleet, 0, vms)
+	for id := 0; id < vms; id++ {
+		g, err := NewGuest(id, byVM[id], rng)
+		if err != nil {
+			return nil, err
+		}
+		fleet = append(fleet, g)
+	}
+	for vmID := range byVM {
+		if vmID >= vms {
+			return nil, fmt.Errorf("vm: task set references vm %d beyond fleet of %d", vmID, vms)
+		}
+	}
+	return fleet, nil
+}
+
+// Release emits all due jobs across the fleet at slot now.
+func (f Fleet) Release(now slot.Time, emit func(j *task.Job)) {
+	for _, g := range f {
+		g.Release(now, emit)
+	}
+}
+
+// Released returns the fleet-wide release count.
+func (f Fleet) Released() int64 {
+	var n int64
+	for _, g := range f {
+		n += g.Released()
+	}
+	return n
+}

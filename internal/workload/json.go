@@ -1,0 +1,117 @@
+// JSON import/export of task sets, so generated workloads can be
+// frozen, shipped to other tools (cmd/ioguard-analyze) and replayed
+// bit-identically — the repository analogue of the paper's fixed
+// experimental inputs.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+// taskJSON is the stable wire form of one task.
+type taskJSON struct {
+	ID       int    `json:"id"`
+	Name     string `json:"name"`
+	VM       int    `json:"vm"`
+	Kind     string `json:"kind"`
+	Period   int64  `json:"period"`
+	WCET     int64  `json:"wcet"`
+	Deadline int64  `json:"deadline"`
+	Device   string `json:"device"`
+	OpBytes  int    `json:"opBytes"`
+	Jitter   int64  `json:"jitter,omitempty"`
+}
+
+func kindFromString(s string) (task.Kind, error) {
+	switch s {
+	case "safety":
+		return task.Safety, nil
+	case "function":
+		return task.Function, nil
+	case "synthetic":
+		return task.Synthetic, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown kind %q", s)
+	}
+}
+
+// MarshalSet encodes a task set as indented JSON.
+func MarshalSet(ts task.Set) ([]byte, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]taskJSON, len(ts))
+	for i, t := range ts {
+		out[i] = taskJSON{
+			ID: t.ID, Name: t.Name, VM: t.VM, Kind: t.Kind.String(),
+			Period: int64(t.Period), WCET: int64(t.WCET), Deadline: int64(t.Deadline),
+			Device: t.Device, OpBytes: t.OpBytes, Jitter: int64(t.Jitter),
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalSet decodes and validates a task set.
+func UnmarshalSet(data []byte) (task.Set, error) {
+	var in []taskJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, err
+	}
+	ts := make(task.Set, len(in))
+	for i, t := range in {
+		kind, err := kindFromString(t.Kind)
+		if err != nil {
+			return nil, err
+		}
+		ts[i] = task.Sporadic{
+			ID: t.ID, Name: t.Name, VM: t.VM, Kind: kind,
+			Period: slot.Time(t.Period), WCET: slot.Time(t.WCET), Deadline: slot.Time(t.Deadline),
+			Device: t.Device, OpBytes: t.OpBytes, Jitter: slot.Time(t.Jitter),
+		}
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// Describe renders a human-readable summary of a task set: per-kind
+// counts, per-device utilization, hyper-period and the heaviest
+// tasks.
+func Describe(ts task.Set) string {
+	var b strings.Builder
+	kinds := map[task.Kind]int{}
+	for _, t := range ts {
+		kinds[t.Kind]++
+	}
+	fmt.Fprintf(&b, "tasks: %d (%d safety, %d function, %d synthetic) across %d VMs\n",
+		len(ts), kinds[task.Safety], kinds[task.Function], kinds[task.Synthetic], len(ts.VMs()))
+	fmt.Fprintf(&b, "hyper-period: %d slots\n", ts.Hyperperiod())
+	devs := DeviceUtilization(ts)
+	names := make([]string, 0, len(devs))
+	for d := range devs {
+		names = append(names, d)
+	}
+	sort.Strings(names)
+	for _, d := range names {
+		fmt.Fprintf(&b, "device %-10s utilization %.3f\n", d, devs[d])
+	}
+	heavy := append(task.Set(nil), ts...)
+	sort.Slice(heavy, func(i, j int) bool { return heavy[i].Utilization() > heavy[j].Utilization() })
+	n := 5
+	if len(heavy) < n {
+		n = len(heavy)
+	}
+	b.WriteString("heaviest tasks:\n")
+	for _, t := range heavy[:n] {
+		fmt.Fprintf(&b, "  %-24s U=%.4f (T=%d C=%d D=%d, %s, vm%d)\n",
+			t.Name, t.Utilization(), t.Period, t.WCET, t.Deadline, t.Device, t.VM)
+	}
+	return b.String()
+}

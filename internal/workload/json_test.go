@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"ioguard/internal/task"
+)
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	ts, err := Generate(Config{VMs: 4, TargetUtil: 0.7, Seed: 3, SyntheticJitter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalSet(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSet(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("round trip %d ≠ %d tasks", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i] != ts[i] {
+			t.Fatalf("task %d changed: %+v vs %+v", i, got[i], ts[i])
+		}
+	}
+}
+
+func TestMarshalSetRejectsInvalid(t *testing.T) {
+	bad := task.Set{{ID: 0, Period: -1, WCET: 1, Deadline: 1}}
+	if _, err := MarshalSet(bad); err == nil {
+		t.Error("invalid set accepted")
+	}
+}
+
+func TestUnmarshalSetErrors(t *testing.T) {
+	if _, err := UnmarshalSet([]byte(`{`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := UnmarshalSet([]byte(`[{"id":0,"kind":"nope","period":10,"wcet":1,"deadline":10,"vm":0}]`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := UnmarshalSet([]byte(`[{"id":0,"kind":"safety","period":10,"wcet":20,"deadline":10,"vm":0}]`)); err == nil {
+		t.Error("invalid task accepted")
+	}
+}
+
+func TestKindFromString(t *testing.T) {
+	for _, k := range []task.Kind{task.Safety, task.Function, task.Synthetic} {
+		got, err := kindFromString(k.String())
+		if err != nil || got != k {
+			t.Errorf("kind %v round trip failed: %v %v", k, got, err)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	ts, _ := Generate(Config{VMs: 4, TargetUtil: 0.8, Seed: 1})
+	out := Describe(ts)
+	for _, want := range []string{"20 safety", "20 function", "hyper-period", "device ethernet", "device flexray", "heaviest tasks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package ioguard is the public API of the I/O-GUARD reproduction
+// (Jiang et al., "I/O-GUARD: Hardware/Software Co-Design for I/O
+// Virtualization with Guaranteed Real-time Performance", DAC 2021).
+//
+// The package re-exports the building blocks a downstream user needs:
+//
+//   - the I/O task and periodic-server models of Sec. IV (Task,
+//     TaskSet, Server, Job),
+//   - the Time Slot Table σ* and its offline construction (Sec. II-B
+//     and III-A),
+//   - the two-layer schedulability analysis of Sec. IV (Analyze,
+//     SynthesizeServers),
+//   - the slot-accurate I/O-GUARD system (NewSystem) and the three
+//     baseline architectures of Sec. V, all runnable under the common
+//     trial harness (Run, Sweep),
+//   - the evaluation drivers that regenerate every table and figure
+//     (see internal/experiments and cmd/ioguard-experiments).
+//
+// See examples/quickstart for a five-minute tour.
+package ioguard
+
+import (
+	"ioguard/internal/analysis"
+	"ioguard/internal/baseline"
+	"ioguard/internal/core"
+	"ioguard/internal/hypervisor"
+	"ioguard/internal/metrics"
+	"ioguard/internal/slot"
+	"ioguard/internal/system"
+	"ioguard/internal/task"
+	"ioguard/internal/workload"
+)
+
+// Core model types (Sec. IV).
+type (
+	// Time is a time-slot index; one slot is 1 µs (100 cycles at the
+	// platform's 100 MHz clock).
+	Time = slot.Time
+	// Task is a sporadic I/O task τk = (Tk, Ck, Dk).
+	Task = task.Sporadic
+	// TaskSet is a collection of I/O tasks.
+	TaskSet = task.Set
+	// Server is a periodic server Γi = (Πi, Θi) backing one VM.
+	Server = task.Server
+	// Job is one released task instance.
+	Job = task.Job
+	// Kind classifies tasks (Safety / Function / Synthetic).
+	Kind = task.Kind
+)
+
+// Task kinds.
+const (
+	Safety    = task.Safety
+	Function  = task.Function
+	Synthetic = task.Synthetic
+)
+
+// Time Slot Table (σ*) types.
+type (
+	// Table is the Time Slot Table σ* consulted by the P-channel.
+	Table = slot.Table
+	// Requirement is one pre-defined task to compile into σ*.
+	Requirement = slot.Requirement
+)
+
+// BuildTable compiles pre-defined task requirements into a Time Slot
+// Table using offline preemptive EDF (the "loaded during system
+// initialization" step of Sec. II-B).
+func BuildTable(reqs []Requirement) (*Table, []slot.Placement, error) {
+	return slot.Build(reqs)
+}
+
+// Scheduling analysis (Sec. IV).
+
+// AnalysisResult is the outcome of the full two-layer test.
+type AnalysisResult = analysis.SystemResult
+
+// Analyze runs the complete two-layer schedulability analysis:
+// Theorem 1/2 for the allocation of free slots to the per-VM servers,
+// then Theorem 3/4 per VM for its sporadic tasks.
+func Analyze(tab *Table, servers []Server, ts TaskSet) (AnalysisResult, error) {
+	return analysis.TestSystem(tab, servers, ts)
+}
+
+// SynthesizeServers dimensions one minimal-budget server per VM (all
+// with period pi) and verifies the global test against the table.
+func SynthesizeServers(tab *Table, ts TaskSet, pi Time) ([]Server, AnalysisResult, error) {
+	return analysis.SynthesizeServers(tab, ts, pi)
+}
+
+// System construction.
+
+// SchedMode selects the R-channel global scheduler.
+type SchedMode = hypervisor.Mode
+
+// Global scheduling modes: DirectEDF matches the hardware G-Sched of
+// Sec. III-A; ServerEDF is the analyzable configuration of Sec. IV.
+const (
+	ServerEDF = hypervisor.ServerEDF
+	DirectEDF = hypervisor.DirectEDF
+)
+
+// SystemConfig parameterizes an I/O-GUARD instance.
+type SystemConfig = core.Config
+
+// System is the common interface of all runnable architectures.
+type System = system.System
+
+// Collector records observed completions during a run.
+type Collector = system.Collector
+
+// NewSystem builds a complete I/O-GUARD system (hypervisor per device,
+// P-channel tables, R-channel pools) for the workload, reporting
+// completions to col (which may be nil).
+func NewSystem(cfg SystemConfig, ts TaskSet, col *Collector) (*core.System, error) {
+	return core.New(cfg, ts, col)
+}
+
+// Baselines of Sec. V.
+
+// NewLegacy builds BS|Legacy: no virtualization, NoC-routed I/O with
+// FIFO arbitration.
+func NewLegacy(vms int, ts TaskSet, col *Collector) (System, error) {
+	return baseline.NewLegacy(vms, ts, col)
+}
+
+// NewRTXen builds BS|RT-XEN: a software hypervisor with real-time
+// patches; quantum ≤ 0 selects the default VCPU quantum.
+func NewRTXen(vms int, ts TaskSet, col *Collector, quantum Time) (System, error) {
+	return baseline.NewRTXen(vms, ts, col, quantum)
+}
+
+// NewBlueVisor builds BS|BV: hardware-assisted virtualization with
+// per-VM FIFO I/O pools.
+func NewBlueVisor(vms int, ts TaskSet, col *Collector) (System, error) {
+	return baseline.NewBlueVisor(vms, ts, col)
+}
+
+// Trial harness.
+
+// Trial parameterizes one execution.
+type Trial = system.Trial
+
+// Builder constructs a system wired to a collector.
+type Builder = system.Builder
+
+// TrialResult scores one execution.
+type TrialResult = metrics.TrialResult
+
+// Aggregate summarizes repeated trials.
+type Aggregate = metrics.Aggregate
+
+// Run executes one trial: a deterministic release engine drives the
+// system's residual tasks for the trial horizon, and the result is
+// scored with the paper's metrics (success, throughput, response
+// times).
+func Run(build Builder, tr Trial) (*TrialResult, error) {
+	return system.Run(build, tr)
+}
+
+// Sweep repeats a trial configuration across independent seeds and
+// aggregates success ratio and throughput.
+func Sweep(build Builder, tr Trial, trials int) (*Aggregate, error) {
+	return system.Sweep(build, tr, trials)
+}
+
+// Workload generation (Sec. V-C).
+
+// WorkloadConfig parameterizes the automotive case-study generator.
+type WorkloadConfig = workload.Config
+
+// GenerateWorkload builds the case-study task set: the full safety and
+// function catalogues plus synthetic load lifting each device to the
+// target utilization.
+func GenerateWorkload(cfg WorkloadConfig) (TaskSet, error) {
+	return workload.Generate(cfg)
+}
+
+// Sensitivity analysis.
+
+// ScalingResult reports a configuration's critical WCET scaling factor.
+type ScalingResult = analysis.ScalingResult
+
+// CriticalScaling finds the largest uniform WCET inflation that keeps
+// ts schedulable on tab with minimal per-VM servers of period pi — the
+// analytical margin behind the Fig. 7 cliffs.
+func CriticalScaling(tab *Table, ts TaskSet, pi Time, tol float64) (ScalingResult, error) {
+	return analysis.CriticalScaling(tab, ts, pi, tol)
+}

@@ -1,0 +1,101 @@
+package ioguard
+
+import (
+	"testing"
+)
+
+// demoWorkload is a small two-VM, two-device workload used across the
+// API tests.
+func demoWorkload() TaskSet {
+	return TaskSet{
+		{ID: 0, Name: "sensor", VM: 0, Kind: Safety, Device: "ethernet",
+			Period: 64, WCET: 4, Deadline: 64, OpBytes: 128},
+		{ID: 1, Name: "actuator", VM: 1, Kind: Function, Device: "flexray",
+			Period: 128, WCET: 8, Deadline: 128, OpBytes: 64},
+	}
+}
+
+func TestBuildTable(t *testing.T) {
+	tab, placements, err := BuildTable([]Requirement{
+		{ID: 0, Period: 8, WCET: 2, Deadline: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 8 || tab.FreeCount() != 6 {
+		t.Errorf("table H=%d F=%d", tab.Len(), tab.FreeCount())
+	}
+	if len(placements) != 1 {
+		t.Errorf("placements = %d", len(placements))
+	}
+}
+
+func TestAnalyzeAndSynthesize(t *testing.T) {
+	tab, _, err := BuildTable([]Requirement{{ID: 0, Period: 8, WCET: 2, Deadline: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := TaskSet{
+		{ID: 0, VM: 0, Period: 64, WCET: 4, Deadline: 64},
+		{ID: 1, VM: 1, Period: 64, WCET: 4, Deadline: 64},
+	}
+	servers, res, err := SynthesizeServers(tab, ts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable || len(servers) != 2 {
+		t.Fatalf("synthesis failed: %+v", res)
+	}
+	res2, err := Analyze(tab, servers, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Schedulable {
+		t.Error("Analyze should confirm the synthesized servers")
+	}
+}
+
+func TestNewSystemRunsToCompletion(t *testing.T) {
+	col := &Collector{}
+	build := func(tr Trial, c *Collector) (System, error) {
+		return NewSystem(SystemConfig{VMs: tr.VMs, PreloadFrac: 0.5, Mode: DirectEDF}, tr.Tasks, c)
+	}
+	res, err := Run(build, Trial{VMs: 2, Tasks: demoWorkload(), Horizon: 2048, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || !res.Success() {
+		t.Errorf("result = %+v", res)
+	}
+	_ = col
+}
+
+func TestBaselinesViaFacade(t *testing.T) {
+	builders := []Builder{
+		func(tr Trial, c *Collector) (System, error) { return NewLegacy(tr.VMs, tr.Tasks, c) },
+		func(tr Trial, c *Collector) (System, error) { return NewRTXen(tr.VMs, tr.Tasks, c, 0) },
+		func(tr Trial, c *Collector) (System, error) { return NewBlueVisor(tr.VMs, tr.Tasks, c) },
+	}
+	for i, b := range builders {
+		res, err := Run(b, Trial{VMs: 2, Tasks: demoWorkload(), Horizon: 4096, Seed: 2})
+		if err != nil {
+			t.Fatalf("builder %d: %v", i, err)
+		}
+		if res.Completed == 0 {
+			t.Errorf("builder %d completed nothing", i)
+		}
+	}
+}
+
+func TestSweepViaFacade(t *testing.T) {
+	build := func(tr Trial, c *Collector) (System, error) {
+		return NewSystem(SystemConfig{VMs: tr.VMs, Mode: DirectEDF}, tr.Tasks, c)
+	}
+	agg, err := Sweep(build, Trial{VMs: 2, Tasks: demoWorkload(), Horizon: 2048, Seed: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Trials != 3 || agg.SuccessRatio() != 1 {
+		t.Errorf("aggregate = %+v", agg)
+	}
+}
