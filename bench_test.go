@@ -193,7 +193,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 	var points []experiments.AblationPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		points, err = experiments.SchedulerAblation(8, 0.8, 2, 1)
+		points, err = experiments.SchedulerAblation(8, 0.8, 2, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -215,7 +215,7 @@ func BenchmarkAblationPreloadFraction(b *testing.B) {
 	var points []experiments.PreloadPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		points, err = experiments.PreloadSweep(8, 1.0, nil, 3, 1)
+		points, err = experiments.PreloadSweep(8, 1.0, nil, 3, 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -223,6 +223,67 @@ func BenchmarkAblationPreloadFraction(b *testing.B) {
 	}
 	for _, p := range points {
 		b.ReportMetric(p.Agg.SuccessRatio(), fmt.Sprintf("success@%.0f%%", p.Frac*100))
+	}
+}
+
+// BenchmarkCaseStudyParallel runs one Fig. 7 column at increasing
+// worker counts. The (util × trial × system) cells are independent,
+// so wall-clock time should fall near-linearly with workers (up to
+// the core count) while the folded output stays byte-identical —
+// compare the ns/op across sub-benchmarks:
+//
+//	go test -bench=CaseStudyParallel -benchtime=1x
+func BenchmarkCaseStudyParallel(b *testing.B) {
+	cfg := experiments.CaseStudyConfig{
+		VMs:          4,
+		Utils:        []float64{0.70, 0.85, 1.00},
+		Trials:       4,
+		HyperPeriods: 3,
+		Seed:         1,
+	}
+	var baseline string
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			var points []experiments.CaseStudyPoint
+			for i := 0; i < b.N; i++ {
+				var err error
+				points, err = experiments.CaseStudy(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// The deterministic-merge guarantee, enforced while timing:
+			// every worker count renders the same table.
+			table := experiments.RenderCaseStudy(points, c.VMs)
+			if baseline == "" {
+				baseline = table
+			} else if table != baseline {
+				b.Fatal("parallel case study diverged from workers=1 output")
+			}
+			b.ReportMetric(float64(len(c.Utils)*c.Trials*len(experiments.SystemNames())), "cells")
+		})
+	}
+}
+
+// BenchmarkParallelSweep measures the raw worker-pool scaling on a
+// single configuration (no workload regeneration in the loop).
+func BenchmarkParallelSweep(b *testing.B) {
+	ts, err := workload.Generate(workload.Config{VMs: 8, TargetUtil: 0.8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := Trial{VMs: 8, Tasks: ts, Horizon: ts.Hyperperiod() * 3, Seed: 1}
+	build := experiments.IOGuardBuilder(0.70)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ParallelSweep(build, tr, 8, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 //	ioguard-experiments -exp fig6
 //	ioguard-experiments -exp table1
-//	ioguard-experiments -exp fig7a [-trials N] [-hyperperiods N]
+//	ioguard-experiments -exp fig7a [-trials N] [-hyperperiods N] [-workers N]
 //	ioguard-experiments -exp fig7b [-trials N]
 //	ioguard-experiments -exp fig7c [-trials N]
 //	ioguard-experiments -exp fig8 [-maxeta N]
@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"ioguard/internal/experiments"
 	"ioguard/internal/footprint"
@@ -31,36 +32,37 @@ func main() {
 		maxEta  = flag.Int("maxeta", 4, "maximum scaling factor η for fig8")
 		utilArg = flag.Float64("util", 0.8, "target utilization for the ablation")
 		seed    = flag.Int64("seed", 1, "base random seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines running trial cells (output is identical for any value)")
 	)
 	flag.Parse()
-	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed); err != nil {
+	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, trials, hps, maxEta int, util float64, seed int64) error {
+func run(exp string, trials, hps, maxEta int, util float64, seed int64, workers int) error {
 	switch exp {
 	case "fig6":
 		return fig6()
 	case "table1":
 		return table1()
 	case "fig7a":
-		return fig7(4, trials, hps, seed)
+		return fig7(4, trials, hps, seed, workers)
 	case "fig7b":
-		return fig7(8, trials, hps, seed)
+		return fig7(8, trials, hps, seed, workers)
 	case "fig7c":
 		// Fig. 7(c) shares the sweep; print both VM groups' throughput.
-		if err := fig7(4, trials, hps, seed); err != nil {
+		if err := fig7(4, trials, hps, seed, workers); err != nil {
 			return err
 		}
-		return fig7(8, trials, hps, seed)
+		return fig7(8, trials, hps, seed, workers)
 	case "fig8":
 		return fig8(maxEta)
 	case "ablation":
-		return ablation(util, trials, seed)
+		return ablation(util, trials, seed, workers)
 	case "preload":
-		return preload(util, trials, seed)
+		return preload(util, trials, seed, workers)
 	case "response":
 		return response(util, seed)
 	case "all":
@@ -70,10 +72,10 @@ func run(exp string, trials, hps, maxEta int, util float64, seed int64) error {
 		if err := table1(); err != nil {
 			return err
 		}
-		if err := fig7(4, trials, hps, seed); err != nil {
+		if err := fig7(4, trials, hps, seed, workers); err != nil {
 			return err
 		}
-		if err := fig7(8, trials, hps, seed); err != nil {
+		if err := fig7(8, trials, hps, seed, workers); err != nil {
 			return err
 		}
 		return fig8(maxEta)
@@ -103,12 +105,13 @@ func table1() error {
 	return nil
 }
 
-func fig7(vms, trials, hps int, seed int64) error {
+func fig7(vms, trials, hps int, seed int64, workers int) error {
 	points, err := experiments.CaseStudy(experiments.CaseStudyConfig{
 		VMs:          vms,
 		Trials:       trials,
 		HyperPeriods: hps,
 		Seed:         seed,
+		Workers:      workers,
 	})
 	if err != nil {
 		return err
@@ -128,8 +131,8 @@ func fig8(maxEta int) error {
 	return nil
 }
 
-func preload(util float64, trials int, seed int64) error {
-	points, err := experiments.PreloadSweep(8, util, nil, trials, seed)
+func preload(util float64, trials int, seed int64, workers int) error {
+	points, err := experiments.PreloadSweep(8, util, nil, trials, seed, workers)
 	if err != nil {
 		return err
 	}
@@ -147,8 +150,8 @@ func response(util float64, seed int64) error {
 	return nil
 }
 
-func ablation(util float64, trials int, seed int64) error {
-	points, err := experiments.SchedulerAblation(8, util, trials, seed)
+func ablation(util float64, trials int, seed int64, workers int) error {
+	points, err := experiments.SchedulerAblation(8, util, trials, seed, workers)
 	if err != nil {
 		return err
 	}

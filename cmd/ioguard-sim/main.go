@@ -8,12 +8,19 @@
 //	ioguard-sim -system ioguard-70 -vms 8 -util 0.85 -hyperperiods 4
 //	ioguard-sim -system rtxen -vms 4 -util 0.6
 //	ioguard-sim -system ioguard-40 -gantt 200
+//	ioguard-sim -system ioguard-70 -trials 50 -workers 4
+//
+// With -trials N > 1 the command repeats the trial across independent
+// seeds on a deterministic worker pool and prints the aggregate
+// (success ratio, throughput distribution) instead of single-trial
+// metrics; -workers only changes wall-clock time, never the output.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"ioguard/internal/baseline"
@@ -32,24 +39,30 @@ func main() {
 		util    = flag.Float64("util", 0.7, "target device utilization")
 		hps     = flag.Int("hyperperiods", 3, "horizon in workload hyper-periods")
 		seed    = flag.Int64("seed", 1, "random seed")
-		gantt   = flag.Int("gantt", 0, "print a Gantt chart of the first N slots (I/O-GUARD only)")
-		csvPath = flag.String("csv", "", "write the execution trace as CSV (I/O-GUARD only)")
-		byTask  = flag.Bool("bytask", false, "print per-task completion/miss statistics")
+		trials  = flag.Int("trials", 1, "repeat across N independent seeds and print the aggregate")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines running trials when -trials > 1 (output is identical for any value)")
+		gantt   = flag.Int("gantt", 0, "print a Gantt chart of the first N slots (I/O-GUARD only, single trial)")
+		csvPath = flag.String("csv", "", "write the execution trace as CSV (I/O-GUARD only, single trial)")
+		byTask  = flag.Bool("bytask", false, "print per-task completion/miss statistics (single trial)")
 	)
 	flag.Parse()
-	if err := run(*sysName, *vms, *util, *hps, *seed, *gantt, *csvPath, *byTask); err != nil {
+	if err := run(*sysName, *vms, *util, *hps, *seed, *trials, *workers, *gantt, *csvPath, *byTask); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sysName string, vms int, util float64, hps int, seed int64, gantt int, csvPath string, byTask bool) error {
+func run(sysName string, vms int, util float64, hps int, seed int64, trials, workers, gantt int, csvPath string, byTask bool) error {
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("workload: %d tasks, per-device utilization %v, hyper-period %d slots\n",
 		len(ts), formatUtil(workload.DeviceUtilization(ts)), ts.Hyperperiod())
+
+	if trials > 1 {
+		return runSweep(sysName, vms, util, hps, seed, trials, workers)
+	}
 
 	rec := &trace.Recorder{}
 	build, err := builderFor(sysName, rec, gantt > 0 || csvPath != "")
@@ -101,6 +114,35 @@ func run(sysName string, vms int, util float64, hps int, seed int64, gantt int, 
 		}
 		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), csvPath)
 	}
+	return nil
+}
+
+// runSweep repeats the trial across independent release seeds on the
+// deterministic worker pool and prints the aggregate.
+func runSweep(sysName string, vms int, util float64, hps int, seed int64, trials, workers int) error {
+	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
+	if err != nil {
+		return err
+	}
+	rec := &trace.Recorder{}
+	build, err := builderFor(sysName, rec, false)
+	if err != nil {
+		return err
+	}
+	agg, err := system.ParallelSweep(build, system.Trial{
+		VMs:     vms,
+		Tasks:   ts,
+		Horizon: ts.Hyperperiod() * slot.Time(hps),
+		Seed:    seed,
+	}, trials, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system: %s (%d trials)\n", sysName, trials)
+	fmt.Printf("  success ratio:    %.1f%% (%d/%d trials)\n", 100*agg.SuccessRatio(), agg.Successes, agg.Trials)
+	fmt.Printf("  throughput MB/s:  mean=%.3f sd=%.3f min=%.3f max=%.3f\n",
+		agg.Throughput.Mean(), agg.Throughput.StdDev(), agg.Throughput.Min(), agg.Throughput.Max())
+	fmt.Printf("  critical misses:  mean=%.1f max=%.0f per trial\n", agg.Misses.Mean(), agg.Misses.Max())
 	return nil
 }
 

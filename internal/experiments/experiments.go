@@ -14,7 +14,9 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -80,6 +82,19 @@ type CaseStudyConfig struct {
 	Seed         int64
 	// Systems restricts the sweep; nil = all of SystemNames().
 	Systems []string
+	// Workers is the goroutine count fanning the (utilization × trial
+	// × system) cells; ≤0 = runtime.GOMAXPROCS(0). Results are folded
+	// in canonical order, so any worker count yields identical output.
+	Workers int
+}
+
+// trialSeed derives the per-(utilization, trial) seed. The
+// utilization mixes in as its grid index in percent via math.Round —
+// a plain int64(util*1000) float-truncates (0.55 may be stored as
+// 0.55000000000000004 or 0.549999...), which can shift or collide
+// seeds between grid points and across platforms.
+func trialSeed(base int64, trial int, util float64) int64 {
+	return base + int64(trial)*7919 + int64(math.Round(util*100))
 }
 
 // DefaultUtils returns the paper's grid: 40 % to 100 % in 5 % steps.
@@ -100,7 +115,10 @@ type CaseStudyPoint struct {
 
 // CaseStudy runs the Fig. 7 sweep: for each target utilization the
 // same generated workload is fed to every system, each repeated over
-// the configured trials.
+// the configured trials. The (utilization × trial × system) cells fan
+// across cfg.Workers goroutines and are folded back in canonical
+// (util, trial, system) order, so the returned points — and any table
+// rendered from them — are byte-identical for every worker count.
 func CaseStudy(cfg CaseStudyConfig) ([]CaseStudyPoint, error) {
 	if cfg.VMs <= 0 {
 		return nil, fmt.Errorf("experiments: need VMs > 0")
@@ -119,18 +137,15 @@ func CaseStudy(cfg CaseStudyConfig) ([]CaseStudyPoint, error) {
 		names = SystemNames()
 	}
 	builders := Builders()
-	var out []CaseStudyPoint
+	// Lay the cells out util-major, then trial, then system — the
+	// same order the sequential path visited them. Each trial draws a
+	// fresh synthetic-load realization; within one trial every system
+	// sees the identical workload and release pattern ("the data
+	// input to the examined systems was identical in each execution").
+	cells := make([]system.Cell, 0, len(cfg.Utils)*cfg.Trials*len(names))
 	for _, util := range cfg.Utils {
-		aggs := make(map[string]*metrics.Aggregate, len(names))
-		for _, name := range names {
-			aggs[name] = &metrics.Aggregate{}
-		}
-		// Each trial draws a fresh synthetic-load realization; within
-		// one trial every system sees the identical workload and
-		// release pattern ("the data input to the examined systems
-		// was identical in each execution").
 		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.Seed + int64(trial)*7919 + int64(util*1000)
+			seed := trialSeed(cfg.Seed, trial, util)
 			ts, err := workload.Generate(workload.Config{
 				VMs:        cfg.VMs,
 				TargetUtil: util,
@@ -145,16 +160,35 @@ func CaseStudy(cfg CaseStudyConfig) ([]CaseStudyPoint, error) {
 				if !ok {
 					return nil, fmt.Errorf("experiments: unknown system %q", name)
 				}
-				res, err := system.Run(build, system.Trial{
+				cells = append(cells, system.Cell{Build: build, Trial: system.Trial{
 					VMs:     cfg.VMs,
 					Tasks:   ts,
 					Horizon: horizon,
 					Seed:    seed,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s at U=%.2f: %w", name, util, err)
-				}
-				aggs[name].AddTrial(res)
+				}})
+			}
+		}
+	}
+	results, err := system.RunCells(cells, cfg.Workers)
+	if err != nil {
+		var ce *system.CellError
+		if errors.As(err, &ce) {
+			util := cfg.Utils[ce.Index/(cfg.Trials*len(names))]
+			name := names[ce.Index%len(names)]
+			return nil, fmt.Errorf("experiments: %s at U=%.2f: %w", name, util, ce.Err)
+		}
+		return nil, err
+	}
+	var out []CaseStudyPoint
+	for ui, util := range cfg.Utils {
+		aggs := make(map[string]*metrics.Aggregate, len(names))
+		for _, name := range names {
+			aggs[name] = &metrics.Aggregate{}
+		}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			for si, name := range names {
+				idx := (ui*cfg.Trials+trial)*len(names) + si
+				aggs[name].AddTrial(results[idx])
 			}
 		}
 		for _, name := range names {
@@ -354,34 +388,49 @@ type PreloadPoint struct {
 	Agg  *metrics.Aggregate
 }
 
+// preloadSeed derives the per-(fraction, trial) seed. Each fraction
+// mixes in its own component (scaled by a prime well clear of the
+// trial stride) so different fractions don't silently reuse identical
+// workload realizations.
+func preloadSeed(base int64, trial int, frac float64) int64 {
+	return base + int64(trial)*7919 + int64(math.Round(frac*100))*104729
+}
+
 // PreloadSweep quantifies Obs. 3's mechanism directly: at a fixed
 // target utilization, sweep the fraction of tasks pre-loaded into the
 // P-channel from 0 % to 100 % and measure the success ratio. More
 // pre-loading → more table-guaranteed tasks → higher success under
-// overload.
-func PreloadSweep(vms int, util float64, fracs []float64, trials int, seed int64) ([]PreloadPoint, error) {
+// overload. The (fraction × trial) cells fan across `workers`
+// goroutines (≤0 = GOMAXPROCS) with a deterministic fold.
+func PreloadSweep(vms int, util float64, fracs []float64, trials int, seed int64, workers int) ([]PreloadPoint, error) {
 	if fracs == nil {
 		fracs = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
 	}
 	if trials <= 0 {
 		trials = 5
 	}
-	var out []PreloadPoint
+	cells := make([]system.Cell, 0, len(fracs)*trials)
 	for _, frac := range fracs {
-		agg := &metrics.Aggregate{}
 		for trial := 0; trial < trials; trial++ {
-			s := seed + int64(trial)*7919
+			s := preloadSeed(seed, trial, frac)
 			ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: s})
 			if err != nil {
 				return nil, err
 			}
-			res, err := system.Run(IOGuardBuilder(frac), system.Trial{
+			cells = append(cells, system.Cell{Build: IOGuardBuilder(frac), Trial: system.Trial{
 				VMs: vms, Tasks: ts, Horizon: ts.Hyperperiod() * 6, Seed: s,
-			})
-			if err != nil {
-				return nil, err
-			}
-			agg.AddTrial(res)
+			}})
+		}
+	}
+	results, err := system.RunCells(cells, workers)
+	if err != nil {
+		return nil, err
+	}
+	var out []PreloadPoint
+	for fi, frac := range fracs {
+		agg := &metrics.Aggregate{}
+		for trial := 0; trial < trials; trial++ {
+			agg.AddTrial(results[fi*trials+trial])
 		}
 		out = append(out, PreloadPoint{Frac: frac, Agg: agg})
 	}
@@ -410,8 +459,10 @@ type AblationPoint struct {
 
 // SchedulerAblation compares DirectEDF, ServerEDF (strict periodic
 // servers synthesized per VM is out of scope here — it uses equal
-// shares), and work-conserving DirectEDF at a given utilization.
-func SchedulerAblation(vms int, util float64, trials int, seed int64) ([]AblationPoint, error) {
+// shares), and work-conserving DirectEDF at a given utilization. The
+// trials of each configuration run on `workers` goroutines (≤0 =
+// GOMAXPROCS).
+func SchedulerAblation(vms int, util float64, trials int, seed int64, workers int) ([]AblationPoint, error) {
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
 		return nil, err
@@ -431,7 +482,7 @@ func SchedulerAblation(vms int, util float64, trials int, seed int64) ([]Ablatio
 		build := func(tr system.Trial, col *system.Collector) (system.System, error) {
 			return core.New(cc, tr.Tasks, col)
 		}
-		agg, err := system.Sweep(build, system.Trial{VMs: vms, Tasks: ts, Horizon: horizon, Seed: seed}, trials)
+		agg, err := system.ParallelSweep(build, system.Trial{VMs: vms, Tasks: ts, Horizon: horizon, Seed: seed}, trials, workers)
 		if err != nil {
 			return nil, err
 		}

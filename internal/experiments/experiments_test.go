@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -90,6 +91,78 @@ func TestCaseStudySmall(t *testing.T) {
 	}
 }
 
+// TestCaseStudyParallelDeterministic pins the deterministic-merge
+// guarantee: the rendered Fig. 7 table must be byte-identical for the
+// sequential path (workers=1) and a saturated pool, on a fixed seed.
+func TestCaseStudyParallelDeterministic(t *testing.T) {
+	cfg := CaseStudyConfig{
+		VMs:          2,
+		Utils:        []float64{0.45, 0.95},
+		Trials:       3,
+		HyperPeriods: 2,
+		Seed:         7,
+	}
+	cfg.Workers = 1
+	seq, err := CaseStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqTable := RenderCaseStudy(seq, cfg.VMs)
+	for _, workers := range []int{2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			c := cfg
+			c.Workers = workers
+			par, err := CaseStudy(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if table := RenderCaseStudy(par, c.VMs); table != seqTable {
+				t.Errorf("workers=%d table diverged from sequential:\n--- workers=1\n%s--- workers=%d\n%s",
+					workers, seqTable, workers, table)
+			}
+		})
+	}
+}
+
+// TestTrialSeedDerivation pins the rounding fix: every grid point
+// contributes a distinct, truncation-proof seed component.
+func TestTrialSeedDerivation(t *testing.T) {
+	// 0.55 is not exactly representable; util*1000 truncation made the
+	// component grid-step dependent. Round(util*100) is exact for the
+	// 5 % grid.
+	if got := trialSeed(0, 0, 0.55); got != 55 {
+		t.Errorf("trialSeed(0,0,0.55) = %d, want 55", got)
+	}
+	seen := map[int64]float64{}
+	for _, u := range DefaultUtils() {
+		s := trialSeed(1, 0, u)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("seed collision between U=%.2f and U=%.2f", prev, u)
+		}
+		seen[s] = u
+		// A perturbation below float64 grid noise must not move the seed.
+		if s != trialSeed(1, 0, u+1e-12) || s != trialSeed(1, 0, u-1e-12) {
+			t.Errorf("seed at U=%.2f is not truncation-stable", u)
+		}
+	}
+}
+
+// TestPreloadSeedPerFraction pins the PreloadSweep fix: different
+// fractions must draw different workload realizations.
+func TestPreloadSeedPerFraction(t *testing.T) {
+	fracs := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	seen := map[int64]float64{}
+	for _, f := range fracs {
+		s := preloadSeed(4, 0, f)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("fraction %.1f reuses the workload realization of %.1f", f, prev)
+		}
+		seen[s] = f
+	}
+}
+
 func TestRenderTable1(t *testing.T) {
 	out, err := RenderTable1()
 	if err != nil {
@@ -128,7 +201,7 @@ func TestFig8(t *testing.T) {
 }
 
 func TestSchedulerAblation(t *testing.T) {
-	points, err := SchedulerAblation(2, 0.6, 1, 5)
+	points, err := SchedulerAblation(2, 0.6, 1, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +237,7 @@ func TestResponseProfile(t *testing.T) {
 }
 
 func TestPreloadSweep(t *testing.T) {
-	points, err := PreloadSweep(2, 0.5, []float64{0, 1}, 1, 4)
+	points, err := PreloadSweep(2, 0.5, []float64{0, 1}, 1, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

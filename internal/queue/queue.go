@@ -242,8 +242,14 @@ func (q *PQ[T]) checkHeap() error {
 // traditional I/O controllers relies on FIFO queues, which forbids
 // context switches at the hardware level"). The zero value is an
 // unbounded empty queue.
+//
+// Dequeued slots are zeroed immediately (so popped values — e.g.
+// *task.Job — become collectable) and the backing array is compacted
+// once the dead prefix exceeds the live half, keeping memory bounded
+// by the peak queue depth over arbitrarily long horizons.
 type FIFO[T any] struct {
 	items []T
+	head  int // index of the current head within items
 	cap   int // 0 = unbounded
 }
 
@@ -251,10 +257,10 @@ type FIFO[T any] struct {
 func NewFIFO[T any](capacity int) *FIFO[T] { return &FIFO[T]{cap: capacity} }
 
 // Len returns the number of queued items.
-func (f *FIFO[T]) Len() int { return len(f.items) }
+func (f *FIFO[T]) Len() int { return len(f.items) - f.head }
 
 // Full reports whether a bounded FIFO cannot accept another item.
-func (f *FIFO[T]) Full() bool { return f.cap > 0 && len(f.items) >= f.cap }
+func (f *FIFO[T]) Full() bool { return f.cap > 0 && f.Len() >= f.cap }
 
 // Push enqueues v; it reports false when the FIFO is full (the
 // hardware back-pressures the producer).
@@ -268,27 +274,42 @@ func (f *FIFO[T]) Push(v T) bool {
 
 // Peek returns the head item without dequeuing it.
 func (f *FIFO[T]) Peek() (T, bool) {
-	if len(f.items) == 0 {
+	if f.head >= len(f.items) {
 		var zero T
 		return zero, false
 	}
-	return f.items[0], true
+	return f.items[f.head], true
 }
 
 // Pop dequeues and returns the head item.
 func (f *FIFO[T]) Pop() (T, bool) {
-	if len(f.items) == 0 {
-		var zero T
+	var zero T
+	if f.head >= len(f.items) {
 		return zero, false
 	}
-	v := f.items[0]
-	f.items = f.items[1:]
+	v := f.items[f.head]
+	f.items[f.head] = zero
+	f.head++
+	if f.head > len(f.items)-f.head {
+		// The dead prefix outweighs the live tail: shift the live
+		// items down and zero the vacated suffix so no stale
+		// references survive in the backing array. Amortized O(1):
+		// the copied count is below half the elements popped since
+		// the previous compaction.
+		n := copy(f.items, f.items[f.head:])
+		tail := f.items[n:]
+		for i := range tail {
+			tail[i] = zero
+		}
+		f.items = f.items[:n]
+		f.head = 0
+	}
 	return v, true
 }
 
 // Each visits the queued items from head to tail.
 func (f *FIFO[T]) Each(visit func(v T)) {
-	for _, v := range f.items {
+	for _, v := range f.items[f.head:] {
 		visit(v)
 	}
 }

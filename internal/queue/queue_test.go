@@ -256,6 +256,108 @@ func TestFIFOEach(t *testing.T) {
 	}
 }
 
+// TestFIFOPopZeroesSlot verifies popped slots drop their references
+// immediately: a retained backing array must not pin popped jobs for
+// the rest of a trial.
+func TestFIFOPopZeroesSlot(t *testing.T) {
+	f := NewFIFO[*int](0)
+	for i := 0; i < 4; i++ {
+		v := i
+		f.Push(&v)
+	}
+	f.Pop()
+	for i := 0; i < f.head; i++ {
+		if f.items[i] != nil {
+			t.Errorf("vacated slot %d still holds a reference", i)
+		}
+	}
+	// Drain; compaction zeroes the suffix too.
+	for {
+		if _, ok := f.Pop(); !ok {
+			break
+		}
+	}
+	for i, v := range f.items[:cap(f.items)] {
+		if v != nil {
+			t.Errorf("backing slot %d still holds a reference after drain", i)
+		}
+	}
+}
+
+// TestFIFOMemoryBounded pushes/pops ~10⁵ cycles at a small steady
+// depth and bounds both the backing array and the per-cycle
+// allocations: the former re-slice-only Pop grew the live window of
+// the backing array without bound and reallocated on every wrap.
+func TestFIFOMemoryBounded(t *testing.T) {
+	const depth, cycles = 8, 100000
+	f := NewFIFO[int](0)
+	for i := 0; i < depth; i++ {
+		f.Push(i)
+	}
+	i := depth
+	allocs := testing.AllocsPerRun(cycles, func() {
+		f.Pop()
+		f.Push(i)
+		i++
+	})
+	if allocs > 0.001 {
+		t.Errorf("steady-state pop/push allocates %.4f/op, want ~0 (compaction should reuse the array)", allocs)
+	}
+	if c := cap(f.items); c > 64*depth {
+		t.Errorf("backing array grew to cap %d for depth-%d queue", c, depth)
+	}
+	if f.Len() != depth {
+		t.Fatalf("Len = %d, want %d", f.Len(), depth)
+	}
+	// FIFO order survives all the compactions.
+	want, _ := f.Peek()
+	for {
+		v, ok := f.Pop()
+		if !ok {
+			break
+		}
+		if v != want {
+			t.Fatalf("order broken: got %d, want %d", v, want)
+		}
+		want++
+	}
+}
+
+// TestFIFOCompactionKeepsSemantics interleaves pushes and pops across
+// compaction boundaries and checks contents against a reference.
+func TestFIFOCompactionKeepsSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := NewFIFO[int](0)
+	var ref []int
+	next := 0
+	for op := 0; op < 20000; op++ {
+		if rng.Intn(3) > 0 || len(ref) == 0 {
+			f.Push(next)
+			ref = append(ref, next)
+			next++
+		} else {
+			v, ok := f.Pop()
+			if !ok || v != ref[0] {
+				t.Fatalf("op %d: Pop = %d/%v, want %d", op, v, ok, ref[0])
+			}
+			ref = ref[1:]
+		}
+		if f.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, f.Len(), len(ref))
+		}
+	}
+	var got []int
+	f.Each(func(v int) { got = append(got, v) })
+	if len(got) != len(ref) {
+		t.Fatalf("Each visited %d, want %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("content diverged at %d: %d vs %d", i, got[i], ref[i])
+		}
+	}
+}
+
 func TestShadow(t *testing.T) {
 	var s Shadow[string]
 	if s.Valid() {

@@ -1,0 +1,125 @@
+package system
+
+// Deterministic parallel trial execution. Every trial owns its own
+// engine, seeded RNG and Collector, so trials are embarrassingly
+// parallel; the only care needed is that results are *folded* in a
+// canonical order so aggregates (and any rendering built on them) are
+// byte-identical regardless of scheduling. RunCells guarantees that
+// by returning results indexed by their input position; ParallelSweep
+// and the experiments layer fold them in input order.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ioguard/internal/metrics"
+	"ioguard/internal/task"
+)
+
+// Cell is one unit of parallel work: a (builder, trial) pair. Cells
+// are independent — the runner gives each one a private copy of the
+// trial's task set so concurrent trials never share mutable state.
+type Cell struct {
+	Build Builder
+	Trial Trial
+}
+
+// CellError reports the failure of one cell, preserving the cell's
+// input index so callers can attribute the error to a specific
+// (utilization, trial, system) coordinate.
+type CellError struct {
+	Index int
+	Err   error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("system: cell %d: %v", e.Index, e.Err)
+}
+
+// Unwrap returns the underlying error.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// RunCells executes every cell across `workers` goroutines and
+// returns the trial results in input order. workers ≤ 0 selects
+// runtime.GOMAXPROCS(0). Results flow back through a channel tagged
+// with their cell index, so the returned slice — and anything folded
+// from it in order — is independent of goroutine scheduling. When
+// cells fail, the error of the lowest-indexed failing cell is
+// returned (again for determinism) as a *CellError.
+func RunCells(cells []Cell, workers int) ([]*metrics.TrialResult, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	type outcome struct {
+		index int
+		res   *metrics.TrialResult
+		err   error
+	}
+	work := make(chan int)
+	done := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				c := cells[i]
+				// Private copy of the task set: Sporadic is a value
+				// type, so a shallow copy fully isolates this trial
+				// from cells sharing the same generated workload.
+				c.Trial.Tasks = append(task.Set(nil), c.Trial.Tasks...)
+				res, err := Run(c.Build, c.Trial)
+				done <- outcome{index: i, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range cells {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		close(done)
+	}()
+	results := make([]*metrics.TrialResult, len(cells))
+	errs := make([]error, len(cells))
+	for o := range done {
+		results[o.index] = o.res
+		errs[o.index] = o.err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, &CellError{Index: i, Err: err}
+		}
+	}
+	return results, nil
+}
+
+// ParallelSweep is Sweep across a worker pool: `trials` independent
+// seeds of one configuration run on `workers` goroutines (≤ 0 =
+// GOMAXPROCS) and are folded into the aggregate in trial order, so
+// the result is identical for any worker count.
+func ParallelSweep(build Builder, tr Trial, trials, workers int) (*metrics.Aggregate, error) {
+	cells := make([]Cell, 0, trials)
+	for i := 0; i < trials; i++ {
+		t := tr
+		t.Seed = tr.Seed + int64(i)*7919
+		cells = append(cells, Cell{Build: build, Trial: t})
+	}
+	results, err := RunCells(cells, workers)
+	if err != nil {
+		return nil, err
+	}
+	agg := &metrics.Aggregate{}
+	for _, res := range results {
+		agg.AddTrial(res)
+	}
+	return agg, nil
+}

@@ -1,0 +1,131 @@
+package system
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ioguard/internal/metrics"
+	"ioguard/internal/slot"
+)
+
+// aggKey flattens every aggregate field that feeds rendered output,
+// so equality here implies byte-identical tables downstream.
+func aggKey(a *metrics.Aggregate) string {
+	return fmt.Sprintf("trials=%d successes=%d tput[n=%d mean=%v sd=%v min=%v max=%v] misses[n=%d mean=%v max=%v]",
+		a.Trials, a.Successes,
+		a.Throughput.N(), a.Throughput.Mean(), a.Throughput.StdDev(), a.Throughput.Min(), a.Throughput.Max(),
+		a.Misses.N(), a.Misses.Mean(), a.Misses.Max())
+}
+
+func TestParallelSweepDeterministic(t *testing.T) {
+	tr := Trial{VMs: 2, Tasks: workload(), Horizon: 600, Seed: 11}
+	sequential, err := ParallelSweep(builder(3), tr, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel() // exercises the pool concurrently under -race
+			agg, err := ParallelSweep(builder(3), tr, 9, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := aggKey(agg), aggKey(sequential); got != want {
+				t.Errorf("workers=%d diverged:\n got %s\nwant %s", workers, got, want)
+			}
+		})
+	}
+}
+
+func TestParallelSweepMatchesSweep(t *testing.T) {
+	tr := Trial{VMs: 2, Tasks: workload(), Horizon: 300, Seed: 1}
+	a, err := Sweep(builder(2), tr, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParallelSweep(builder(2), tr, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggKey(a) != aggKey(b) {
+		t.Errorf("Sweep and ParallelSweep disagree:\n %s\n %s", aggKey(a), aggKey(b))
+	}
+}
+
+func TestRunCellsOrderAndIsolation(t *testing.T) {
+	// Different delays give each cell a distinguishable result; the
+	// returned slice must line up with the input order regardless of
+	// which worker finishes first.
+	delays := []slot.Time{1, 5, 2, 9, 3, 7, 4, 8, 6, 10}
+	var cells []Cell
+	for _, d := range delays {
+		cells = append(cells, Cell{Build: builder(d), Trial: Trial{VMs: 2, Tasks: workload(), Horizon: 400, Seed: 3}})
+	}
+	results, err := RunCells(cells, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cells) {
+		t.Fatalf("results = %d, want %d", len(results), len(cells))
+	}
+	for i, d := range delays {
+		if got := results[i].Response.Mean(); got != float64(d) {
+			t.Errorf("cell %d: response mean %v, want %d (results out of order?)", i, got, d)
+		}
+	}
+}
+
+func TestRunCellsEmpty(t *testing.T) {
+	results, err := RunCells(nil, 4)
+	if err != nil || results != nil {
+		t.Errorf("RunCells(nil) = %v, %v", results, err)
+	}
+}
+
+func TestRunCellsErrorIsLowestIndex(t *testing.T) {
+	boom := func(msg string) Builder {
+		return func(tr Trial, col *Collector) (System, error) {
+			return nil, errors.New(msg)
+		}
+	}
+	cells := []Cell{
+		{Build: builder(1), Trial: Trial{VMs: 2, Tasks: workload(), Horizon: 100, Seed: 1}},
+		{Build: boom("first"), Trial: Trial{VMs: 2, Tasks: workload(), Horizon: 100, Seed: 1}},
+		{Build: boom("second"), Trial: Trial{VMs: 2, Tasks: workload(), Horizon: 100, Seed: 1}},
+	}
+	for _, workers := range []int{1, 2, 8} {
+		_, err := RunCells(cells, workers)
+		var ce *CellError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: error %v is not a *CellError", workers, err)
+		}
+		if ce.Index != 1 || ce.Err.Error() != "first" {
+			t.Errorf("workers=%d: got cell %d (%v), want lowest failing cell 1", workers, ce.Index, ce.Err)
+		}
+	}
+}
+
+// mutatingSystem sorts its task set in place to simulate a builder
+// that reorders the shared workload; the per-cell task-set copy must
+// keep that invisible to sibling cells.
+func TestRunCellsCopiesTaskSet(t *testing.T) {
+	shared := workload()
+	mutate := func(tr Trial, col *Collector) (System, error) {
+		for i := range tr.Tasks {
+			tr.Tasks[i].OpBytes = 0 // stomp the (cell-private) copy
+		}
+		return &fakeSystem{tasks: tr.Tasks, col: col, delay: 1}, nil
+	}
+	var cells []Cell
+	for i := 0; i < 16; i++ {
+		cells = append(cells, Cell{Build: mutate, Trial: Trial{VMs: 2, Tasks: shared, Horizon: 200, Seed: int64(i)}})
+	}
+	if _, err := RunCells(cells, 8); err != nil {
+		t.Fatal(err)
+	}
+	if shared[0].OpBytes != 100 || shared[1].OpBytes != 50 {
+		t.Errorf("shared task set mutated by a cell: %+v", shared)
+	}
+}

@@ -147,17 +147,8 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 
 // Sweep runs `trials` independent seeds of one configuration and
 // aggregates them (the paper repeats each configuration 1000 times;
-// callers choose how many fit their budget).
+// callers choose how many fit their budget). It is the single-worker
+// special case of ParallelSweep.
 func Sweep(build Builder, tr Trial, trials int) (*metrics.Aggregate, error) {
-	agg := &metrics.Aggregate{}
-	for i := 0; i < trials; i++ {
-		t := tr
-		t.Seed = tr.Seed + int64(i)*7919
-		res, err := Run(build, t)
-		if err != nil {
-			return nil, err
-		}
-		agg.AddTrial(res)
-	}
-	return agg, nil
+	return ParallelSweep(build, tr, trials, 1)
 }

@@ -164,6 +164,13 @@ func Sweep(build Builder, tr Trial, trials int) (*Aggregate, error) {
 	return system.Sweep(build, tr, trials)
 }
 
+// ParallelSweep is Sweep across a deterministic worker pool: trials
+// run on `workers` goroutines (≤0 = GOMAXPROCS) and are folded in
+// trial order, so the aggregate is identical for any worker count.
+func ParallelSweep(build Builder, tr Trial, trials, workers int) (*Aggregate, error) {
+	return system.ParallelSweep(build, tr, trials, workers)
+}
+
 // Workload generation (Sec. V-C).
 
 // WorkloadConfig parameterizes the automotive case-study generator.
