@@ -15,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"ioguard/internal/benchsuite"
 	"ioguard/internal/experiments"
 	"ioguard/internal/footprint"
 	"ioguard/internal/hw"
@@ -286,6 +287,30 @@ func BenchmarkParallelSweep(b *testing.B) {
 		})
 	}
 }
+
+// benchSuite exposes a benchsuite prefix as sub-benchmarks, so that
+// `go test -bench` and cmd/ioguard-bench time identical bodies.
+func benchSuite(b *testing.B, prefix string) {
+	b.Helper()
+	specs, err := benchsuite.ByPrefix(prefix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range specs {
+		b.Run(s.Name, s.Bench)
+	}
+}
+
+// BenchmarkEngineIdle measures the simulation engine on a mostly idle
+// horizon (one quiescent component, one event per 10k slots): the
+// dense variant steps every slot, fastforward uses the quiescence
+// protocol. Their ratio is the engine-level fast-forward speedup.
+func BenchmarkEngineIdle(b *testing.B) { benchSuite(b, "EngineIdle") }
+
+// BenchmarkRunSparse measures a full idle-heavy case-study trial
+// (stretched automotive workload, 0.05 per-device utilization) through
+// system.Run, dense vs fast-forward.
+func BenchmarkRunSparse(b *testing.B) { benchSuite(b, "RunSparse") }
 
 // BenchmarkHypervisorStep measures the simulator's slot-processing
 // rate for the full I/O-GUARD system (useful when sizing longer

@@ -1,0 +1,153 @@
+// Command ioguard-bench runs the simulation benchmark suite
+// (internal/benchsuite — the same bodies `go test -bench` wraps) and
+// writes a machine-readable trajectory to BENCH_sim.json. The derived
+// dense/fast-forward speedups quantify the engine's idle-slot
+// fast-forward on the idle-heavy cells; allocs/op tracks the
+// zero-allocation hot paths.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"ioguard/internal/benchsuite"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SlotsPerOp is how many simulated slots one iteration advances
+	// (0 when not meaningful, e.g. queue micro-benchmarks).
+	SlotsPerOp   int64   `json:"slots_per_op,omitempty"`
+	SlotsPerSec  float64 `json:"slots_per_sec,omitempty"`
+}
+
+// Speedup compares the dense and fast-forward variants of one
+// benchmark pair.
+type Speedup struct {
+	Name          string  `json:"name"`
+	DenseNsPerOp  float64 `json:"dense_ns_per_op"`
+	FFNsPerOp     float64 `json:"fastforward_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+	DenseSlotsSec float64 `json:"dense_slots_per_sec,omitempty"`
+	FFSlotsSec    float64 `json:"fastforward_slots_per_sec,omitempty"`
+}
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	Schema    string    `json:"schema"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	BenchTime string    `json:"benchtime"`
+	Results   []Result  `json:"results"`
+	Speedups  []Speedup `json:"speedups,omitempty"`
+}
+
+func measure(spec benchsuite.Spec) Result {
+	r := testing.Benchmark(spec.Bench)
+	res := Result{
+		Name:        spec.Name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		SlotsPerOp:  spec.SlotsPerOp,
+	}
+	if spec.SlotsPerOp > 0 && res.NsPerOp > 0 {
+		res.SlotsPerSec = float64(spec.SlotsPerOp) / (res.NsPerOp / 1e9)
+	}
+	return res
+}
+
+// speedups pairs every <base>/dense result with its <base>/fastforward
+// sibling.
+func speedups(results []Result) []Speedup {
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	var out []Speedup
+	for _, r := range results {
+		base, ok := strings.CutSuffix(r.Name, "/dense")
+		if !ok {
+			continue
+		}
+		ff, ok := byName[base+"/fastforward"]
+		if !ok || ff.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Name:          base,
+			DenseNsPerOp:  r.NsPerOp,
+			FFNsPerOp:     ff.NsPerOp,
+			Speedup:       r.NsPerOp / ff.NsPerOp,
+			DenseSlotsSec: r.SlotsPerSec,
+			FFSlotsSec:    ff.SlotsPerSec,
+		})
+	}
+	return out
+}
+
+func main() {
+	testing.Init()
+	var (
+		out       = flag.String("o", "BENCH_sim.json", "output path (\"-\" for stdout)")
+		benchtime = flag.String("benchtime", "1s", "per-benchmark measuring time (forwarded to test.benchtime; e.g. 2s, 100x)")
+		match     = flag.String("bench", "", "only run benchmarks whose name contains this substring")
+	)
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "ioguard-bench: bad -benchtime %q: %v\n", *benchtime, err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		Schema:    "ioguard/bench_sim/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		BenchTime: *benchtime,
+	}
+	for _, spec := range benchsuite.Specs() {
+		if *match != "" && !strings.Contains(spec.Name, *match) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", spec.Name)
+		res := measure(spec)
+		fmt.Fprintf(os.Stderr, "  %d iterations, %.0f ns/op, %d allocs/op\n",
+			res.Iterations, res.NsPerOp, res.AllocsPerOp)
+		rep.Results = append(rep.Results, res)
+	}
+	rep.Speedups = speedups(rep.Results)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ioguard-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ioguard-bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, s := range rep.Speedups {
+		fmt.Printf("%s: fast-forward %.1f× over dense\n", s.Name, s.Speedup)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Results))
+}

@@ -33,30 +33,31 @@ func main() {
 		utilArg = flag.Float64("util", 0.8, "target utilization for the ablation")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines running trial cells (output is identical for any value)")
+		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (output is identical either way)")
 	)
 	flag.Parse()
-	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, *workers); err != nil {
+	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, *workers, *dense); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, trials, hps, maxEta int, util float64, seed int64, workers int) error {
+func run(exp string, trials, hps, maxEta int, util float64, seed int64, workers int, dense bool) error {
 	switch exp {
 	case "fig6":
 		return fig6()
 	case "table1":
 		return table1()
 	case "fig7a":
-		return fig7(4, trials, hps, seed, workers)
+		return fig7(4, trials, hps, seed, workers, dense)
 	case "fig7b":
-		return fig7(8, trials, hps, seed, workers)
+		return fig7(8, trials, hps, seed, workers, dense)
 	case "fig7c":
 		// Fig. 7(c) shares the sweep; print both VM groups' throughput.
-		if err := fig7(4, trials, hps, seed, workers); err != nil {
+		if err := fig7(4, trials, hps, seed, workers, dense); err != nil {
 			return err
 		}
-		return fig7(8, trials, hps, seed, workers)
+		return fig7(8, trials, hps, seed, workers, dense)
 	case "fig8":
 		return fig8(maxEta)
 	case "ablation":
@@ -72,10 +73,10 @@ func run(exp string, trials, hps, maxEta int, util float64, seed int64, workers 
 		if err := table1(); err != nil {
 			return err
 		}
-		if err := fig7(4, trials, hps, seed, workers); err != nil {
+		if err := fig7(4, trials, hps, seed, workers, dense); err != nil {
 			return err
 		}
-		if err := fig7(8, trials, hps, seed, workers); err != nil {
+		if err := fig7(8, trials, hps, seed, workers, dense); err != nil {
 			return err
 		}
 		return fig8(maxEta)
@@ -105,13 +106,14 @@ func table1() error {
 	return nil
 }
 
-func fig7(vms, trials, hps int, seed int64, workers int) error {
+func fig7(vms, trials, hps int, seed int64, workers int, dense bool) error {
 	points, err := experiments.CaseStudy(experiments.CaseStudyConfig{
 		VMs:          vms,
 		Trials:       trials,
 		HyperPeriods: hps,
 		Seed:         seed,
 		Workers:      workers,
+		Dense:        dense,
 	})
 	if err != nil {
 		return err

@@ -44,15 +44,16 @@ func main() {
 		gantt   = flag.Int("gantt", 0, "print a Gantt chart of the first N slots (I/O-GUARD only, single trial)")
 		csvPath = flag.String("csv", "", "write the execution trace as CSV (I/O-GUARD only, single trial)")
 		byTask  = flag.Bool("bytask", false, "print per-task completion/miss statistics (single trial)")
+		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (output is identical either way)")
 	)
 	flag.Parse()
-	if err := run(*sysName, *vms, *util, *hps, *seed, *trials, *workers, *gantt, *csvPath, *byTask); err != nil {
+	if err := run(*sysName, *vms, *util, *hps, *seed, *trials, *workers, *gantt, *csvPath, *byTask, *dense); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sysName string, vms int, util float64, hps int, seed int64, trials, workers, gantt int, csvPath string, byTask bool) error {
+func run(sysName string, vms int, util float64, hps int, seed int64, trials, workers, gantt int, csvPath string, byTask, dense bool) error {
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
 		return err
@@ -61,7 +62,7 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 		len(ts), formatUtil(workload.DeviceUtilization(ts)), ts.Hyperperiod())
 
 	if trials > 1 {
-		return runSweep(sysName, vms, util, hps, seed, trials, workers)
+		return runSweep(sysName, vms, util, hps, seed, trials, workers, dense)
 	}
 
 	rec := &trace.Recorder{}
@@ -79,6 +80,7 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 		Tasks:   ts,
 		Horizon: ts.Hyperperiod() * slot.Time(hps),
 		Seed:    seed,
+		Dense:   dense,
 	})
 	if err != nil {
 		return err
@@ -119,7 +121,7 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 
 // runSweep repeats the trial across independent release seeds on the
 // deterministic worker pool and prints the aggregate.
-func runSweep(sysName string, vms int, util float64, hps int, seed int64, trials, workers int) error {
+func runSweep(sysName string, vms int, util float64, hps int, seed int64, trials, workers int, dense bool) error {
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
 		return err
@@ -134,6 +136,7 @@ func runSweep(sysName string, vms int, util float64, hps int, seed int64, trials
 		Tasks:   ts,
 		Horizon: ts.Hyperperiod() * slot.Time(hps),
 		Seed:    seed,
+		Dense:   dense,
 	}, trials, workers)
 	if err != nil {
 		return err

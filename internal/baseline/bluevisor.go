@@ -104,6 +104,24 @@ func (b *BlueVisor) Step(now slot.Time) {
 	}
 }
 
+// NextWork implements the sim.Quiescer protocol: now while any
+// station holds work, otherwise the earliest pool-arrival slot.
+func (b *BlueVisor) NextWork(now slot.Time) slot.Time {
+	for _, dev := range b.devices {
+		if b.stations[dev].busy() {
+			return now
+		}
+	}
+	next := slot.Never
+	if _, at, _, ok := b.pending.Min(); ok {
+		if at <= now {
+			return now
+		}
+		next = at
+	}
+	return next
+}
+
 // Pending visits jobs on the hardware path or queued at controllers.
 func (b *BlueVisor) Pending(visit func(j *task.Job)) {
 	b.pending.Each(func(_ queue.Handle, _ slot.Time, j *task.Job) { visit(j) })

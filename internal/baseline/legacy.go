@@ -82,6 +82,24 @@ func (l *Legacy) Step(now slot.Time) {
 	l.t.step(now)
 }
 
+// NextWork implements the sim.Quiescer protocol: the transport when
+// busy, otherwise the earliest scheduled request injection.
+func (l *Legacy) NextWork(now slot.Time) slot.Time {
+	next := l.t.nextWork(now)
+	if next <= now {
+		return now
+	}
+	if _, at, _, ok := l.pending.Min(); ok {
+		if at <= now {
+			return now
+		}
+		if at < next {
+			next = at
+		}
+	}
+	return next
+}
+
 // Pending visits jobs still inside the system.
 func (l *Legacy) Pending(visit func(j *task.Job)) {
 	l.pending.Each(func(_ queue.Handle, _ slot.Time, j *task.Job) { visit(j) })

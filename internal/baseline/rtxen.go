@@ -139,6 +139,39 @@ func (x *RTXen) Step(now slot.Time) {
 	x.t.step(now)
 }
 
+// NextWork implements the sim.Quiescer protocol. The VMM pipeline is
+// busy while any backend queue holds work; an operation inside the
+// serialized backend next matters at vmmBusyAt (its injection slot);
+// guest-side requests matter at their VMM-arrival slot.
+func (x *RTXen) NextWork(now slot.Time) slot.Time {
+	next := x.t.nextWork(now)
+	if next <= now {
+		return now
+	}
+	if x.vmmJob != nil {
+		if x.vmmBusyAt <= now {
+			return now
+		}
+		if x.vmmBusyAt < next {
+			next = x.vmmBusyAt
+		}
+	}
+	for _, q := range x.vmmQueues {
+		if q.Len() > 0 {
+			return now
+		}
+	}
+	if _, at, _, ok := x.pending.Min(); ok {
+		if at <= now {
+			return now
+		}
+		if at < next {
+			next = at
+		}
+	}
+	return next
+}
+
 // Pending visits jobs anywhere in the software or transport pipeline.
 func (x *RTXen) Pending(visit func(j *task.Job)) {
 	x.pending.Each(func(_ queue.Handle, _ slot.Time, j *task.Job) { visit(j) })

@@ -144,6 +144,11 @@ func (st *station) pendingJobs(visit func(j *task.Job)) {
 	}
 }
 
+// busy reports whether the controller has an operation in service or
+// waiting; a busy station needs every slot (non-preemptive service
+// progresses one slot at a time).
+func (st *station) busy() bool { return st.current != nil || st.backlog() > 0 }
+
 // backlog returns the number of waiting (not in-service) operations.
 func (st *station) backlog() int {
 	switch st.disc {

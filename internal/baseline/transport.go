@@ -181,6 +181,22 @@ func (t *meshTransport) step(now slot.Time) {
 	}
 }
 
+// nextWork reports when the transport next needs a step: now while
+// any packet is in the mesh or any station is serving/queueing work,
+// slot.Never once everything has drained (the mesh and stations
+// generate no work on their own).
+func (t *meshTransport) nextWork(now slot.Time) slot.Time {
+	if t.mesh.InFlight() > 0 {
+		return now
+	}
+	for _, st := range t.stations {
+		if st.busy() {
+			return now
+		}
+	}
+	return slot.Never
+}
+
 // deviceNames returns the devices in deterministic (tile) order.
 func (t *meshTransport) deviceNames() []string {
 	cfg := t.mesh.Config()

@@ -1,0 +1,215 @@
+// Package benchsuite defines the simulation benchmark bodies shared
+// by the `go test -bench` wrappers at the repository root and by
+// cmd/ioguard-bench, which runs them standalone and emits a JSON
+// trajectory (BENCH_sim.json). Keeping the bodies here guarantees the
+// two entry points measure exactly the same work.
+//
+// The dense/fastforward pairs exist to quantify the engine's
+// idle-slot fast-forward (sim.Quiescer): both variants execute the
+// identical simulation — the equivalence tests enforce bit-identical
+// results — so their ratio is pure scheduling-loop speedup.
+package benchsuite
+
+import (
+	"fmt"
+	"testing"
+
+	"ioguard/internal/core"
+	"ioguard/internal/hypervisor"
+	"ioguard/internal/queue"
+	"ioguard/internal/sim"
+	"ioguard/internal/slot"
+	"ioguard/internal/system"
+	"ioguard/internal/workload"
+)
+
+// Spec is one benchmark: a name (sub-benchmark path), the number of
+// simulated slots one iteration advances (0 when slots/sec is not
+// meaningful, e.g. queue micro-benchmarks), and the body.
+type Spec struct {
+	Name       string
+	SlotsPerOp int64
+	Bench      func(b *testing.B)
+}
+
+// engineIdleSlots is the horizon of the EngineIdle benchmark: a mostly
+// idle engine with one quiescent component and an event every
+// engineIdleEvery slots.
+const (
+	engineIdleSlots = 1_000_000
+	engineIdleEvery = 10_000
+)
+
+// idleStepper is never busy; it counts executed slots and skipped
+// spans so the benchmark can assert full coverage of the horizon.
+type idleStepper struct {
+	stepped int64
+	skipped slot.Time
+}
+
+func (s *idleStepper) Step(slot.Time)              { s.stepped++ }
+func (s *idleStepper) NextWork(slot.Time) slot.Time { return slot.Never }
+func (s *idleStepper) SkipTo(from, to slot.Time)   { s.skipped += to - from }
+
+func engineIdle(b *testing.B, dense bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.New(1)
+		st := &idleStepper{}
+		e.Register(st)
+		fired := 0
+		for at := slot.Time(0); at < engineIdleSlots; at += engineIdleEvery {
+			e.At(at, func(slot.Time) { fired++ })
+		}
+		if dense {
+			e.RunDense(engineIdleSlots)
+		} else {
+			e.Run(engineIdleSlots)
+		}
+		if fired != engineIdleSlots/engineIdleEvery {
+			b.Fatalf("fired %d events, want %d", fired, engineIdleSlots/engineIdleEvery)
+		}
+		if st.stepped+int64(st.skipped) != engineIdleSlots {
+			b.Fatalf("stepped %d + skipped %d ≠ horizon %d", st.stepped, st.skipped, engineIdleSlots)
+		}
+	}
+}
+
+// engineEventSlots is the horizon of the EngineEvents benchmark: a
+// self-rescheduling event chain exercises the event heap every slot.
+const engineEventSlots = 100_000
+
+func engineEvents(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.New(1)
+		var fired int64
+		var chain func(now slot.Time)
+		chain = func(now slot.Time) {
+			fired++
+			if now+1 < engineEventSlots {
+				e.After(1, chain)
+			}
+		}
+		e.At(0, chain)
+		e.Run(engineEventSlots)
+		if fired != engineEventSlots {
+			b.Fatalf("fired %d events, want %d", fired, engineEventSlots)
+		}
+	}
+}
+
+// sparseStretch derives the idle-heavy cell: the case-study workload's
+// base per-device utilization (0.40) divided by 8 gives 0.05 per
+// device — a ≤30% total-utilization cell across both devices.
+const (
+	sparseStretch      slot.Time = 8
+	sparseHyperperiods slot.Time = 2
+)
+
+// sparseWorkload builds the stretched task set and its trial horizon.
+func sparseWorkload() (t system.Trial, err error) {
+	ts, err := workload.Generate(workload.Config{VMs: 8, TargetUtil: 0.4, Seed: 1})
+	if err != nil {
+		return system.Trial{}, err
+	}
+	ts = workload.Stretch(ts, sparseStretch)
+	return system.Trial{
+		VMs:     8,
+		Tasks:   ts,
+		Horizon: ts.Hyperperiod() * sparseHyperperiods,
+		Seed:    1,
+	}, nil
+}
+
+// sparseSlotsPerOp reports the RunSparse horizon for slots/sec
+// derivation.
+func sparseSlotsPerOp() int64 {
+	tr, err := sparseWorkload()
+	if err != nil {
+		return 0
+	}
+	return int64(tr.Horizon)
+}
+
+func runSparse(b *testing.B, dense bool) {
+	tr, err := sparseWorkload()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Dense = dense
+	build := func(tr system.Trial, col *system.Collector) (system.System, error) {
+		return core.New(core.Config{
+			VMs:         tr.VMs,
+			PreloadFrac: 0.7,
+			Mode:        hypervisor.DirectEDF,
+		}, tr.Tasks, col)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := system.Run(build, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed == 0 {
+			b.Fatal("trial completed no jobs")
+		}
+	}
+}
+
+// pqChurn measures the steady-state cost of the R-channel pool's
+// priority queue: push/pop cycles at a fixed resident depth. With the
+// node freelist this must run allocation-free.
+func pqChurn(b *testing.B) {
+	const depth = 64
+	q := queue.NewPQ[int](0)
+	for i := 0; i < depth; i++ {
+		if _, err := q.Push(slot.Time(i), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	key := slot.Time(depth)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Push(key, i); err != nil {
+			b.Fatal(err)
+		}
+		key++
+		q.PopMin()
+	}
+}
+
+// Specs returns every benchmark in the suite. Names use the same
+// sub-benchmark paths the `go test -bench` wrappers expose.
+func Specs() []Spec {
+	return []Spec{
+		{Name: "EngineIdle/dense", SlotsPerOp: engineIdleSlots,
+			Bench: func(b *testing.B) { engineIdle(b, true) }},
+		{Name: "EngineIdle/fastforward", SlotsPerOp: engineIdleSlots,
+			Bench: func(b *testing.B) { engineIdle(b, false) }},
+		{Name: "EngineEvents", SlotsPerOp: engineEventSlots, Bench: engineEvents},
+		{Name: "RunSparse/dense", SlotsPerOp: sparseSlotsPerOp(),
+			Bench: func(b *testing.B) { runSparse(b, true) }},
+		{Name: "RunSparse/fastforward", SlotsPerOp: sparseSlotsPerOp(),
+			Bench: func(b *testing.B) { runSparse(b, false) }},
+		{Name: "PQChurn", SlotsPerOp: 0, Bench: pqChurn},
+	}
+}
+
+// ByPrefix returns the specs whose name starts with prefix + "/",
+// keyed by the remainder — the shape b.Run sub-benchmarks want.
+func ByPrefix(prefix string) ([]Spec, error) {
+	var out []Spec
+	for _, s := range Specs() {
+		if len(s.Name) > len(prefix)+1 && s.Name[:len(prefix)+1] == prefix+"/" {
+			s.Name = s.Name[len(prefix)+1:]
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchsuite: no specs under %q", prefix)
+	}
+	return out, nil
+}

@@ -299,6 +299,13 @@ func (s *System) Submit(now slot.Time, j *task.Job) {
 // Step advances the hypervisor one slot.
 func (s *System) Step(now slot.Time) { s.hv.Step(now) }
 
+// NextWork implements the sim.Quiescer protocol: the earliest slot at
+// which any device's manager has work.
+func (s *System) NextWork(now slot.Time) slot.Time { return s.hv.NextWork(now) }
+
+// SkipTo lets every manager account a fast-forwarded idle span.
+func (s *System) SkipTo(from, to slot.Time) { s.hv.SkipTo(from, to) }
+
 // Pending visits jobs buffered inside the hypervisor.
 func (s *System) Pending(visit func(j *task.Job)) { s.hv.PendingJobs(visit) }
 

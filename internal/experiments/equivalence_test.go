@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ioguard/internal/core"
+	"ioguard/internal/hypervisor"
+	"ioguard/internal/metrics"
+	"ioguard/internal/system"
+	"ioguard/internal/task"
+	"ioguard/internal/workload"
+)
+
+// runBoth executes the identical trial twice — dense slot stepping and
+// idle-slot fast-forward — and returns both results.
+func runBoth(t *testing.T, build system.Builder, tr system.Trial) (dense, ff *metrics.TrialResult) {
+	t.Helper()
+	tr.Dense = true
+	dense, err := system.Run(build, tr)
+	if err != nil {
+		t.Fatalf("dense run: %v", err)
+	}
+	tr.Dense = false
+	ff, err = system.Run(build, tr)
+	if err != nil {
+		t.Fatalf("fast-forward run: %v", err)
+	}
+	return dense, ff
+}
+
+func requireEqual(t *testing.T, dense, ff *metrics.TrialResult) {
+	t.Helper()
+	if !reflect.DeepEqual(dense, ff) {
+		t.Errorf("dense and fast-forward results diverge:\ndense: %+v\nff:    %+v", dense, ff)
+	}
+}
+
+// TestDenseFastForwardEquivalence is the determinism contract's
+// enforcement point: for every case-study system, across randomized
+// seeded workloads, dense stepping and fast-forward must produce
+// identical TrialResults — the same completions, misses, drops and
+// bytes, and the same response/tardiness samples in the same order.
+func TestDenseFastForwardEquivalence(t *testing.T) {
+	utils := []float64{0.40, 1.00}
+	seeds := []int64{1, 7919, 424243}
+	builders := Builders()
+	for _, name := range SystemNames() {
+		build := builders[name]
+		for _, util := range utils {
+			for _, seed := range seeds {
+				t.Run(fmt.Sprintf("%s/u%.2f/s%d", name, util, seed), func(t *testing.T) {
+					ts, err := workload.Generate(workload.Config{VMs: 4, TargetUtil: util, Seed: seed})
+					if err != nil {
+						t.Fatal(err)
+					}
+					tr := system.Trial{VMs: 4, Tasks: ts, Horizon: ts.Hyperperiod() * 2, Seed: seed}
+					dense, ff := runBoth(t, build, tr)
+					requireEqual(t, dense, ff)
+				})
+			}
+		}
+	}
+}
+
+// TestDenseFastForwardEquivalenceModes covers the scheduler modes the
+// case study does not exercise: ServerEDF with synthesized servers
+// (strict budget polling) and work-conserving slack reclaiming, both
+// of which have their own NextWork logic.
+func TestDenseFastForwardEquivalenceModes(t *testing.T) {
+	light := task.Set{
+		{ID: 0, VM: 0, Kind: task.Safety, Device: "spi", Period: 512, WCET: 8, Deadline: 512, OpBytes: 64, Jitter: 32},
+		{ID: 1, VM: 1, Kind: task.Function, Device: "spi", Period: 1024, WCET: 16, Deadline: 1024, OpBytes: 64, Jitter: 64},
+	}
+	modes := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"server-edf", core.Config{VMs: 2, Mode: hypervisor.ServerEDF, AutoServers: true}},
+		{"server-edf+reclaim", core.Config{VMs: 2, Mode: hypervisor.ServerEDF, AutoServers: true, WorkConserving: true}},
+		{"direct-edf+reclaim", core.Config{VMs: 2, PreloadFrac: 0.5, Mode: hypervisor.DirectEDF, WorkConserving: true}},
+	}
+	for _, m := range modes {
+		cfg := m.cfg
+		build := func(tr system.Trial, col *system.Collector) (system.System, error) {
+			return core.New(cfg, tr.Tasks, col)
+		}
+		for _, seed := range []int64{3, 17} {
+			t.Run(fmt.Sprintf("%s/s%d", m.name, seed), func(t *testing.T) {
+				tr := system.Trial{VMs: 2, Tasks: light, Horizon: 8192, Seed: seed}
+				dense, ff := runBoth(t, build, tr)
+				requireEqual(t, dense, ff)
+			})
+		}
+	}
+}
+
+// TestDenseFastForwardEquivalenceSparse exercises deep skips: the
+// stretched case-study workload leaves most slots idle, so nearly all
+// progress happens through SkipTo spans rather than Step calls —
+// exactly the regime the fast-forward exists for.
+func TestDenseFastForwardEquivalenceSparse(t *testing.T) {
+	ts, err := workload.Generate(workload.Config{VMs: 4, TargetUtil: 0.4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts = workload.Stretch(ts, 8)
+	tr := system.Trial{VMs: 4, Tasks: ts, Horizon: ts.Hyperperiod(), Seed: 11}
+	for _, name := range []string{"I/O-GUARD-70", "BS|RT-XEN"} {
+		build := Builders()[name]
+		t.Run(name, func(t *testing.T) {
+			dense, ff := runBoth(t, build, tr)
+			requireEqual(t, dense, ff)
+		})
+	}
+}

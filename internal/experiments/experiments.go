@@ -86,6 +86,10 @@ type CaseStudyConfig struct {
 	// × system) cells; ≤0 = runtime.GOMAXPROCS(0). Results are folded
 	// in canonical order, so any worker count yields identical output.
 	Workers int
+	// Dense disables the idle-slot fast-forward and steps every slot
+	// (the reference semantics). Output is byte-identical either way;
+	// the flag exists for the equivalence cmp in CI and for debugging.
+	Dense bool
 }
 
 // trialSeed derives the per-(utilization, trial) seed. The
@@ -165,6 +169,7 @@ func CaseStudy(cfg CaseStudyConfig) ([]CaseStudyPoint, error) {
 					Tasks:   ts,
 					Horizon: horizon,
 					Seed:    seed,
+					Dense:   cfg.Dense,
 				}})
 			}
 		}

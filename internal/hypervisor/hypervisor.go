@@ -92,6 +92,30 @@ func (h *Hypervisor) Step(now slot.Time) {
 	}
 }
 
+// NextWork implements the sim.Quiescer protocol across devices: the
+// earliest slot any manager needs.
+func (h *Hypervisor) NextWork(now slot.Time) slot.Time {
+	next := slot.Never
+	for _, n := range h.names {
+		nw := h.managers[n].NextWork(now)
+		if nw <= now {
+			return now
+		}
+		if nw < next {
+			next = nw
+		}
+	}
+	return next
+}
+
+// SkipTo forwards a fast-forwarded span to every manager's bulk idle
+// accounting.
+func (h *Hypervisor) SkipTo(from, to slot.Time) {
+	for _, n := range h.names {
+		h.managers[n].SkipTo(from, to)
+	}
+}
+
 // Stats returns a per-device snapshot of the managers' counters.
 func (h *Hypervisor) Stats() map[string]Stats {
 	out := make(map[string]Stats, len(h.managers))

@@ -101,6 +101,20 @@ type preTask struct {
 	started     bool // nextRelease fast-forwarded to the current time
 	seq         int
 	pending     *queue.FIFO[*task.Job] // released, unfinished jobs (in order)
+	owned       []slot.Time            // table slots owned by id, ascending in [0,H)
+}
+
+// nextOwned returns the first slot ≥ from of the infinite table σ that
+// this task owns — the next slot at which a pending P-channel job can
+// execute. h is the table hyper-period; owned is never empty (Preload
+// rejects tasks without table slots).
+func (pt *preTask) nextOwned(from, h slot.Time) slot.Time {
+	idx := from % h
+	i := sort.Search(len(pt.owned), func(k int) bool { return pt.owned[k] >= idx })
+	if i < len(pt.owned) {
+		return from + (pt.owned[i] - idx)
+	}
+	return from + (h - idx) + pt.owned[0]
 }
 
 // serverState is the run-time state of one periodic server.
@@ -227,13 +241,8 @@ func (m *Manager) Preload(spec *task.Sporadic, id slot.TaskID, offset slot.Time)
 	if _, dup := m.pre[id]; dup {
 		return fmt.Errorf("hypervisor: pre-defined task %d already loaded", id)
 	}
-	owned := slot.Time(0)
-	for i := 0; i < m.cfg.Table.Len(); i++ {
-		if m.cfg.Table.Owner(slot.Time(i)) == id {
-			owned++
-		}
-	}
-	if owned == 0 {
+	owned := m.cfg.Table.OwnedBy(id)
+	if len(owned) == 0 {
 		return fmt.Errorf("hypervisor: task %d owns no slot in the table", id)
 	}
 	m.pre[id] = &preTask{
@@ -242,6 +251,7 @@ func (m *Manager) Preload(spec *task.Sporadic, id slot.TaskID, offset slot.Time)
 		offset:      offset,
 		nextRelease: offset,
 		pending:     queue.NewFIFO[*task.Job](0),
+		owned:       owned,
 	}
 	m.preIDs = append(m.preIDs, id)
 	sort.Slice(m.preIDs, func(i, j int) bool { return m.preIDs[i] < m.preIDs[j] })
@@ -425,6 +435,115 @@ func (m *Manager) runRChannel(now slot.Time) bool {
 		m.complete(j)
 	}
 	return true
+}
+
+// NextWork implements the sim.Quiescer protocol: the earliest slot ≥
+// now at which the manager must be stepped, assuming all earlier slots
+// were stepped. The manager is busy (returns now) whenever a pool or a
+// due delivery holds R-channel work; a pending P-channel job only
+// pins its task's next owned table slot (it cannot execute anywhere
+// else). The remaining candidates are the request path's head
+// delivery, each pre-defined task's next release, and — in ServerEDF
+// mode — the next server period boundary (replenishment mutates
+// budgets and deadlines) plus, while any budget remains, the next slot
+// that would drain it. The bound is conservative, never optimistic:
+// fast-forwarding on it is invisible in the execution results.
+func (m *Manager) NextWork(now slot.Time) slot.Time {
+	if d, ok := m.inbox.Peek(); ok && d.at <= now {
+		return now
+	}
+	for _, p := range m.pools {
+		if p.Len() > 0 {
+			return now
+		}
+	}
+	next := slot.Never
+	// The inbox is FIFO over monotone delivery times, so its head is
+	// the earliest future delivery.
+	if d, ok := m.inbox.Peek(); ok && d.at < next {
+		next = d.at
+	}
+	h := slot.Time(m.cfg.Table.Len())
+	for _, id := range m.preIDs {
+		pt := m.pre[id]
+		if pt.pending.Len() > 0 {
+			// A pending P-channel job executes only in slots its task
+			// owns; the manager next touches it at the first such slot.
+			no := pt.nextOwned(now, h)
+			if no <= now {
+				return now
+			}
+			if no < next {
+				next = no
+			}
+		}
+		nr := pt.nextRelease
+		if !pt.started && nr < now {
+			// Mirror Step's start-up fast-forward without mutating:
+			// the first release is the next period multiple ≥ now.
+			nr += ((now - nr + pt.spec.Period - 1) / pt.spec.Period) * pt.spec.Period
+		}
+		if nr <= now {
+			return now
+		}
+		if nr < next {
+			next = nr
+		}
+	}
+	for _, s := range m.servers {
+		// Replenishment fires only in a Step at the boundary slot, so
+		// boundaries may never be skipped.
+		if now%s.cfg.Period == 0 {
+			return now
+		}
+		if b := (now/s.cfg.Period + 1) * s.cfg.Period; b < next {
+			next = b
+		}
+		if s.budget > 0 {
+			// Strict polling servers drain budget on every slot the
+			// R-channel could be granted, pending work or not: free
+			// slots always, and reclaimed table slots when
+			// work-conserving.
+			if m.cfg.WorkConserving {
+				return now
+			}
+			nf := now
+			if m.cfg.Table.Len() > 0 {
+				nf = m.cfg.Table.NextFree(now)
+			}
+			if nf <= now {
+				return now
+			}
+			if nf < next {
+				next = nf
+			}
+		}
+	}
+	return next
+}
+
+// SkipTo accounts a fast-forwarded span [from, to) in bulk. The
+// engine only skips slots NextWork declared idle, so per-slot
+// execution state cannot change across the span; what remains is the
+// idle bookkeeping Step would have done: free slots count as
+// SlotsIdle, table-owned slots as PSlotsIdle, and (non-work-conserving
+// only) an owned idle slot resets the preemption tracker exactly as
+// execute() does densely.
+func (m *Manager) SkipTo(from, to slot.Time) {
+	span := to - from
+	if span <= 0 {
+		return
+	}
+	free := span
+	if m.cfg.Table.Len() > 0 {
+		free = m.cfg.Table.FreeIn(from, span)
+	}
+	m.stats.SlotsIdle += int64(free)
+	owned := span - free
+	m.stats.PSlotsIdle += int64(owned)
+	if owned > 0 && !m.cfg.WorkConserving {
+		m.lastJob = nil
+	}
 }
 
 // account tracks preemptions: a switch away from an unfinished job.

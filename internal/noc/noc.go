@@ -174,9 +174,10 @@ func (s Stats) AvgDelay() float64 {
 // Mesh is the simulated NoC. It implements sim.Stepper; step it once
 // per slot. Delivered packets are handed to the OnDeliver callback.
 type Mesh struct {
-	cfg     Config
-	routers []*router
-	stats   Stats
+	cfg      Config
+	routers  []*router
+	stats    Stats
+	inflight int // packets queued or on a link, maintained O(1)
 
 	// OnDeliver is invoked when a packet reaches its destination's
 	// local port. It may be nil.
@@ -291,6 +292,7 @@ func (m *Mesh) Inject(now slot.Time, pkt *packet.Packet) bool {
 	}
 	m.noteDepth(r.out[port])
 	m.stats.Injected++
+	m.inflight++
 	return true
 }
 
@@ -345,6 +347,7 @@ func (m *Mesh) Step(now slot.Time) {
 		port := m.route(nr.at, m.CoordOf(a.fl.pkt.Dst))
 		if !nr.out[port].waiting.push(a.fl) {
 			m.stats.Dropped++ // bounded buffer overflow mid-route
+			m.inflight--
 		} else {
 			m.noteDepth(nr.out[port])
 		}
@@ -352,6 +355,7 @@ func (m *Mesh) Step(now slot.Time) {
 }
 
 func (m *Mesh) deliver(fl *flight, now slot.Time) {
+	m.inflight--
 	m.stats.Delivered++
 	d := now + 1 - fl.injected
 	m.stats.TotalDelay += d
@@ -378,6 +382,20 @@ func (m *Mesh) neighbor(ri int, port Port) int {
 	default:
 		return ri
 	}
+}
+
+// InFlight returns the number of packets inside the NoC in O(1); it
+// equals Pending() at every slot boundary and backs NextWork.
+func (m *Mesh) InFlight() int { return m.inflight }
+
+// NextWork implements the sim.Quiescer protocol: a mesh with in-flight
+// packets needs every slot (links serialize one flit-group per slot);
+// an empty mesh has no self-generated work, ever.
+func (m *Mesh) NextWork(now slot.Time) slot.Time {
+	if m.inflight > 0 {
+		return now
+	}
+	return slot.Never
 }
 
 // Pending returns the number of packets currently inside the NoC

@@ -1,0 +1,54 @@
+package noc
+
+import (
+	"testing"
+
+	"ioguard/internal/slot"
+)
+
+// TestNextWorkTracksInFlight: the O(1) in-flight counter backing
+// NextWork must match the O(routers) Pending scan at every slot
+// boundary, and NextWork must pin the engine exactly while packets are
+// inside the mesh.
+func TestNextWorkTracksInFlight(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NextWork(0); got != slot.Never {
+		t.Fatalf("empty mesh NextWork = %d, want Never", got)
+	}
+	if m.InFlight() != 0 || m.Pending() != 0 {
+		t.Fatalf("empty mesh InFlight=%d Pending=%d", m.InFlight(), m.Pending())
+	}
+	pkt := mkPkt(m.NodeAt(Coord{0, 0}), m.NodeAt(Coord{4, 4}), 32)
+	if !m.Inject(0, pkt) {
+		t.Fatal("injection refused")
+	}
+	if m.InFlight() == 0 {
+		t.Fatal("InFlight = 0 after injection")
+	}
+	sawBusy := false
+	for now := slot.Time(0); now < 200 && m.InFlight() > 0; now++ {
+		if got := m.NextWork(now); got != now {
+			t.Fatalf("busy mesh NextWork(%d) = %d, want %d", now, got, now)
+		}
+		if m.InFlight() != m.Pending() {
+			t.Fatalf("slot %d: InFlight=%d but Pending=%d", now, m.InFlight(), m.Pending())
+		}
+		sawBusy = true
+		m.Step(now)
+	}
+	if !sawBusy {
+		t.Fatal("mesh never reported busy slots")
+	}
+	if m.InFlight() != 0 || m.Pending() != 0 {
+		t.Fatalf("after delivery InFlight=%d Pending=%d, want 0", m.InFlight(), m.Pending())
+	}
+	if got := m.NextWork(200); got != slot.Never {
+		t.Errorf("drained mesh NextWork = %d, want Never", got)
+	}
+	if m.Stats().Delivered != 1 {
+		t.Errorf("Delivered = %d, want 1", m.Stats().Delivered)
+	}
+}

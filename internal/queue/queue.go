@@ -38,9 +38,17 @@ type node[T any] struct {
 // value is not usable; call NewPQ. Min returns the entry with the
 // earliest deadline, ties broken by insertion order (matching the
 // deterministic hardware comparator tree).
+//
+// Removed entries drop their value references immediately and their
+// nodes are recycled through a freelist, so steady-state push/pop
+// traffic is allocation-free and popped values (e.g. *task.Job) become
+// collectable at removal, not at queue growth. Handles and insertion
+// sequence numbers stay monotone across recycling: node reuse never
+// resurrects a stale handle or reorders FIFO tie-breaks.
 type PQ[T any] struct {
 	heap    []*node[T]
 	byH     map[Handle]*node[T]
+	free    []*node[T] // recycled nodes, values zeroed
 	nextH   Handle
 	nextSeq int64
 	cap     int // 0 = unbounded
@@ -68,7 +76,15 @@ func (q *PQ[T]) Push(key slot.Time, value T) (Handle, error) {
 	if q.Full() {
 		return 0, fmt.Errorf("queue: priority queue full (cap %d)", q.cap)
 	}
-	n := &node[T]{key: key, seq: q.nextSeq, handle: q.nextH, value: value, pos: len(q.heap)}
+	var n *node[T]
+	if k := len(q.free) - 1; k >= 0 {
+		n = q.free[k]
+		q.free[k] = nil
+		q.free = q.free[:k]
+		n.key, n.seq, n.handle, n.value, n.pos = key, q.nextSeq, q.nextH, value, len(q.heap)
+	} else {
+		n = &node[T]{key: key, seq: q.nextSeq, handle: q.nextH, value: value, pos: len(q.heap)}
+	}
 	q.nextSeq++
 	q.nextH++
 	q.heap = append(q.heap, n)
@@ -95,8 +111,9 @@ func (q *PQ[T]) PopMin() (key slot.Time, value T, ok bool) {
 		return 0, zero, false
 	}
 	n := q.heap[0]
-	q.removeNode(n)
-	return n.key, n.value, true
+	key = n.key
+	value = q.removeNode(n)
+	return key, value, true
 }
 
 // Get returns the value stored under h.
@@ -153,8 +170,7 @@ func (q *PQ[T]) Remove(h Handle) (value T, ok bool) {
 		var zero T
 		return zero, false
 	}
-	q.removeNode(n)
-	return n.value, true
+	return q.removeNode(n), true
 }
 
 // Each visits every buffered entry in unspecified order.
@@ -164,16 +180,26 @@ func (q *PQ[T]) Each(visit func(h Handle, key slot.Time, value T)) {
 	}
 }
 
-func (q *PQ[T]) removeNode(n *node[T]) {
+// removeNode unlinks n from the heap and returns its value. The node's
+// value is zeroed (releasing the reference) and the node recycled via
+// the freelist; the vacated backing-array slot is nil'd so the array
+// never pins removed nodes.
+func (q *PQ[T]) removeNode(n *node[T]) T {
 	i := n.pos
 	last := len(q.heap) - 1
 	q.swap(i, last)
+	q.heap[last] = nil
 	q.heap = q.heap[:last]
 	delete(q.byH, n.handle)
 	if i < last {
 		q.down(i)
 		q.up(i)
 	}
+	v := n.value
+	var zero T
+	n.value = zero
+	q.free = append(q.free, n)
+	return v
 }
 
 // less orders by (key, seq): earliest deadline first, FIFO on ties.

@@ -398,3 +398,64 @@ func BenchmarkPQPushPop(b *testing.B) {
 		}
 	}
 }
+
+// TestPQMemoryBounded mirrors TestFIFOMemoryBounded for the R-channel
+// pool's priority queue: steady-state push/pop at a fixed resident
+// depth must be allocation-free (nodes recycle through the freelist)
+// and must not let removed entries pin their values — each pop zeroes
+// the node's value and nils the vacated heap slot.
+func TestPQMemoryBounded(t *testing.T) {
+	const depth, cycles = 8, 100000
+	q := NewPQ[*int](0)
+	for i := 0; i < depth; i++ {
+		v := i
+		if _, err := q.Push(slot.Time(i), &v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := slot.Time(depth)
+	allocs := testing.AllocsPerRun(cycles, func() {
+		q.PopMin()
+		if _, err := q.Push(key, nil); err != nil {
+			t.Fatal(err)
+		}
+		key++
+	})
+	if allocs > 0.001 {
+		t.Errorf("steady-state pop/push allocates %.4f/op, want ~0 (freelist should recycle nodes)", allocs)
+	}
+	if q.Len() != depth {
+		t.Fatalf("Len = %d, want %d", q.Len(), depth)
+	}
+	// The freelist holds only the transiently popped node, never an
+	// unbounded backlog.
+	if len(q.free) > depth {
+		t.Errorf("freelist holds %d nodes at depth %d", len(q.free), depth)
+	}
+	// Freed nodes must not retain value references, and the heap's
+	// backing array must not pin removed nodes.
+	for i, n := range q.free {
+		if n.value != nil {
+			t.Errorf("freelist node %d retains value %v", i, n.value)
+		}
+	}
+	for i := q.Len(); i < cap(q.heap) && i < q.Len()+depth; i++ {
+		if q.heap[:cap(q.heap)][i] != nil {
+			t.Errorf("vacated heap slot %d still pins a node", i)
+		}
+	}
+	// Handles stay monotone across node recycling: a recycled node must
+	// never resurrect a stale handle.
+	h1, err := q.Push(900, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.PopMin()
+	h2, err := q.Push(901, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 <= h1 {
+		t.Errorf("handle went backwards across recycling: %d then %d", h1, h2)
+	}
+}

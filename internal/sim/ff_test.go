@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"ioguard/internal/slot"
+)
+
+// recorder is a Quiescer+Skipper with a scripted busy set: it records
+// every Step slot and every skipped span, and declares work exactly at
+// the slots in busy.
+type recorder struct {
+	busy    map[slot.Time]bool
+	stepped []slot.Time
+	spans   [][2]slot.Time
+}
+
+func (r *recorder) Step(now slot.Time) { r.stepped = append(r.stepped, now) }
+
+func (r *recorder) NextWork(now slot.Time) slot.Time {
+	// Scan forward; busy sets in these tests are tiny and bounded.
+	limit := now + slot.Time(1<<20)
+	for at := now; at < limit; at++ {
+		if r.busy[at] {
+			return at
+		}
+	}
+	return slot.Never
+}
+
+func (r *recorder) SkipTo(from, to slot.Time) { r.spans = append(r.spans, [2]slot.Time{from, to}) }
+
+func busySet(at ...slot.Time) map[slot.Time]bool {
+	m := make(map[slot.Time]bool, len(at))
+	for _, a := range at {
+		m[a] = true
+	}
+	return m
+}
+
+// TestRunSkipsIdleRegions: only declared-busy slots (plus slot 0,
+// which Run always executes before consulting NextWork) are stepped;
+// the skipped spans tile the gaps exactly.
+func TestRunSkipsIdleRegions(t *testing.T) {
+	e := New(1)
+	r := &recorder{busy: busySet(5, 6, 100)}
+	e.Register(r)
+	e.Run(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("Now = %d, want 1000", e.Now())
+	}
+	want := []slot.Time{0, 5, 6, 100}
+	if !reflect.DeepEqual(r.stepped, want) {
+		t.Errorf("stepped %v, want %v", r.stepped, want)
+	}
+	// Spans and steps together must cover [0, 1000) without overlap.
+	covered := int64(len(r.stepped))
+	prevEnd := slot.Time(-1)
+	for _, sp := range r.spans {
+		if sp[0] >= sp[1] {
+			t.Errorf("empty or inverted span %v", sp)
+		}
+		if sp[0] <= prevEnd {
+			t.Errorf("span %v overlaps previous end %d", sp, prevEnd)
+		}
+		prevEnd = sp[1]
+		covered += int64(sp[1] - sp[0])
+	}
+	if covered != 1000 {
+		t.Errorf("steps+spans cover %d slots, want 1000", covered)
+	}
+}
+
+// TestRunMatchesRunDense: the same scripted component stepped densely
+// observes the same busy slots in the same order.
+func TestRunMatchesRunDense(t *testing.T) {
+	busy := busySet(0, 3, 4, 17, 63, 64, 99)
+	ff := &recorder{busy: busy}
+	e1 := New(1)
+	e1.Register(ff)
+	e1.Run(128)
+
+	dense := &recorder{busy: busy}
+	e2 := New(1)
+	e2.Register(dense)
+	e2.RunDense(128)
+
+	// Dense steps every slot; fast-forward must hit every busy slot.
+	var denseBusy []slot.Time
+	for _, at := range dense.stepped {
+		if busy[at] {
+			denseBusy = append(denseBusy, at)
+		}
+	}
+	var ffBusy []slot.Time
+	for _, at := range ff.stepped {
+		if busy[at] {
+			ffBusy = append(ffBusy, at)
+		}
+	}
+	if !reflect.DeepEqual(denseBusy, ffBusy) {
+		t.Errorf("busy slots stepped: dense %v, fast-forward %v", denseBusy, ffBusy)
+	}
+}
+
+// TestEventsFireDuringFastForward: pending events bound the skip, so a
+// fully quiescent engine still fires every event at its exact slot.
+func TestEventsFireDuringFastForward(t *testing.T) {
+	e := New(1)
+	r := &recorder{busy: busySet()}
+	e.Register(r)
+	var fired []slot.Time
+	for _, at := range []slot.Time{10, 500, 501, 999} {
+		e.At(at, func(now slot.Time) { fired = append(fired, now) })
+	}
+	e.Run(1000)
+	want := []slot.Time{10, 500, 501, 999}
+	if !reflect.DeepEqual(fired, want) {
+		t.Errorf("events fired at %v, want %v", fired, want)
+	}
+}
+
+// TestNonQuiescerForcesDense: one component without NextWork pins the
+// whole engine to slot-by-slot stepping.
+func TestNonQuiescerForcesDense(t *testing.T) {
+	e := New(1)
+	q := &recorder{busy: busySet()}
+	steps := 0
+	e.Register(q)
+	e.Register(StepFunc(func(slot.Time) { steps++ }))
+	e.Run(100)
+	if steps != 100 {
+		t.Errorf("plain stepper ran %d slots, want 100 (always-busy default)", steps)
+	}
+	if len(q.stepped) != 100 || len(q.spans) != 0 {
+		t.Errorf("quiescent peer stepped %d / skipped %d spans; dense stepping expected",
+			len(q.stepped), len(q.spans))
+	}
+}
+
+// TestRunStopsAtHorizon: NextWork far beyond the horizon must not push
+// Now past until.
+func TestRunStopsAtHorizon(t *testing.T) {
+	e := New(1)
+	e.Register(&recorder{busy: busySet(1 << 19)})
+	e.Run(100)
+	if e.Now() != 100 {
+		t.Errorf("Now = %d, want 100", e.Now())
+	}
+}
+
+// TestEventHeapSteadyStateAllocFree: a self-rescheduling chain at
+// constant heap depth must not allocate per slot once the heap's
+// backing array has grown.
+func TestEventHeapSteadyStateAllocFree(t *testing.T) {
+	e := New(1)
+	var chain func(now slot.Time)
+	chain = func(now slot.Time) { e.After(1, chain) }
+	e.At(0, chain)
+	e.Run(64) // warm up: heap and stepper slices at steady size
+	allocs := testing.AllocsPerRun(1000, func() { e.Step() })
+	if allocs > 0.001 {
+		t.Errorf("steady-state Step allocates %.3f allocs/op, want 0", allocs)
+	}
+}

@@ -8,19 +8,63 @@
 // times with identical inputs across systems; the engine therefore
 // derives all randomness from one seeded source so that "the data
 // input to the examined systems was identical in each execution".
+//
+// # Determinism contract
+//
+// Independent of how time advances, the observable order of work is
+// fixed:
+//
+//   - events fire in (at, seq) order — earliest slot first, ties
+//     broken by scheduling order — before any Stepper of that slot;
+//   - steppers run once per executed slot, in registration order;
+//   - fast-forwarding (below) may never skip a slot that any
+//     component declared busy, so it is invisible to the simulated
+//     system: dense stepping and fast-forward stepping produce
+//     identical results, bit for bit.
+//
+// # Quiescence protocol
+//
+// Run fast-forwards over idle regions instead of stepping them slot
+// by slot. A Stepper opts in by implementing Quiescer: NextWork(now)
+// returns the earliest slot ≥ now at which the component needs to be
+// stepped (now itself if it is busy, slot.Never if it is fully
+// drained), assuming every slot before now has been stepped. Steppers
+// that do not implement Quiescer are treated as always busy — the
+// compatible default — which forces dense stepping of the whole
+// engine. Components that account per-slot statistics over idle spans
+// (e.g. table-idle counters) additionally implement Skipper; SkipTo
+// observes the skipped span [from, to) in bulk.
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 
 	"ioguard/internal/slot"
 )
 
 // Stepper is a hardware component clocked by the global timer: Step
-// is called exactly once per slot, in registration order.
+// is called exactly once per executed slot, in registration order.
 type Stepper interface {
 	Step(now slot.Time)
+}
+
+// Quiescer is the optional fast-forward extension of Stepper.
+// NextWork(now) returns the earliest slot ≥ now at which the
+// component has work, under the assumption that every slot before now
+// has been stepped: now itself when busy, slot.Never when fully
+// drained. The engine may then skip the slots in between without
+// stepping the component. Implementations must be conservative — a
+// slot that would change any observable state counts as work.
+type Quiescer interface {
+	NextWork(now slot.Time) slot.Time
+}
+
+// Skipper is the optional bulk-accounting extension for components
+// that maintain per-slot counters even while idle. When the engine
+// fast-forwards, SkipTo(from, to) reports the skipped span [from, to)
+// so the component can account it in O(1) instead of O(span).
+type Skipper interface {
+	SkipTo(from, to slot.Time)
 }
 
 // StepFunc adapts a function to the Stepper interface.
@@ -36,28 +80,75 @@ type event struct {
 	fn  func(now slot.Time)
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (ev event) before(o event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return ev.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)       { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (v any)     { old := *h; n := len(old); v = old[n-1]; *h = old[:n-1]; return }
-func (h eventHeap) Peek() *event      { return h[0] }
-func (h eventHeap) Empty() bool       { return len(h) == 0 }
-func (h eventHeap) NextAt() slot.Time { return h[0].at }
+
+// eventHeap is a value-based binary min-heap ordered by (at, seq).
+// The sift operations are implemented directly rather than through
+// container/heap: boxing event values into `any` would allocate on
+// every Push, and the event queue is on the per-slot hot path.
+type eventHeap []event
+
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].before(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	root := s[0]
+	s[0] = s[n]
+	s[n] = event{} // drop the callback reference from the backing array
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l].before(s[m]) {
+			m = l
+		}
+		if r < n && s[r].before(s[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return root
+}
+
+// entry caches a registered component's optional interfaces so the
+// per-slot loop and the fast-forward scan avoid repeated type
+// assertions.
+type entry struct {
+	s  Stepper
+	q  Quiescer // nil: always busy
+	sk Skipper  // nil: nothing to account over skipped spans
+}
 
 // Engine is the global timer plus the set of clocked components. The
 // zero value is not usable; call New.
 type Engine struct {
 	now      slot.Time
 	rng      *rand.Rand
-	steppers []Stepper
+	steppers []entry
 	events   eventHeap
 	nextSeq  int64
 }
@@ -76,14 +167,24 @@ func (e *Engine) RNG() *rand.Rand { return e.rng }
 
 // Register adds a clocked component. Components are stepped in
 // registration order within each slot, which fixes the intra-slot
-// pipeline order (e.g. schedulers before executors).
-func (e *Engine) Register(s Stepper) { e.steppers = append(e.steppers, s) }
+// pipeline order (e.g. schedulers before executors). The component's
+// Quiescer/Skipper implementations, if any, are captured here.
+func (e *Engine) Register(s Stepper) {
+	ent := entry{s: s}
+	if q, ok := s.(Quiescer); ok {
+		ent.q = q
+	}
+	if sk, ok := s.(Skipper); ok {
+		ent.sk = sk
+	}
+	e.steppers = append(e.steppers, ent)
+}
 
 // At schedules fn to run at the start of slot at. Events scheduled for
 // the past run at the start of the next Step. Events at the same slot
 // run in scheduling order, before any Stepper.
 func (e *Engine) At(at slot.Time, fn func(now slot.Time)) {
-	heap.Push(&e.events, &event{at: at, seq: e.nextSeq, fn: fn})
+	e.events.push(event{at: at, seq: e.nextSeq, fn: fn})
 	e.nextSeq++
 }
 
@@ -95,19 +196,75 @@ func (e *Engine) After(delay slot.Time, fn func(now slot.Time)) {
 // Step advances the simulation by one slot: due events fire first,
 // then every registered component steps, then time advances.
 func (e *Engine) Step() {
-	for !e.events.Empty() && e.events.NextAt() <= e.now {
-		ev := heap.Pop(&e.events).(*event)
+	for len(e.events) > 0 && e.events[0].at <= e.now {
+		ev := e.events.pop()
 		ev.fn(e.now)
 	}
-	for _, s := range e.steppers {
-		s.Step(e.now)
+	for _, ent := range e.steppers {
+		ent.s.Step(e.now)
 	}
 	e.now++
 }
 
+// nextWork returns the earliest slot in [e.now, horizon] that must be
+// stepped: the next pending event, the earliest busy component, or
+// the horizon. Any component without a Quiescer pins it to e.now.
+func (e *Engine) nextWork(horizon slot.Time) slot.Time {
+	next := horizon
+	if len(e.events) > 0 {
+		at := e.events[0].at
+		if at <= e.now {
+			return e.now
+		}
+		if at < next {
+			next = at
+		}
+	}
+	for _, ent := range e.steppers {
+		if ent.q == nil {
+			return e.now
+		}
+		nw := ent.q.NextWork(e.now)
+		if nw <= e.now {
+			return e.now
+		}
+		if nw < next {
+			next = nw
+		}
+	}
+	return next
+}
+
+// skipTo jumps the timer to slot to, letting Skipper components
+// account the span [e.now, to) in bulk.
+func (e *Engine) skipTo(to slot.Time) {
+	for _, ent := range e.steppers {
+		if ent.sk != nil {
+			ent.sk.SkipTo(e.now, to)
+		}
+	}
+	e.now = to
+}
+
 // Run steps the simulation until Now() == until (exclusive of slot
-// until itself). It is a no-op when until ≤ Now().
+// until itself), fast-forwarding over regions every component declares
+// idle. It is a no-op when until ≤ Now(). Per the determinism
+// contract, Run and RunDense produce identical results.
 func (e *Engine) Run(until slot.Time) {
+	for e.now < until {
+		e.Step()
+		if e.now >= until {
+			return
+		}
+		if next := e.nextWork(until); next > e.now {
+			e.skipTo(next)
+		}
+	}
+}
+
+// RunDense steps every slot until Now() == until without
+// fast-forwarding — the reference semantics Run must match.
+func (e *Engine) RunDense(until slot.Time) {
 	for e.now < until {
 		e.Step()
 	}

@@ -73,5 +73,8 @@ func (t *Table) Release(id TaskID) int {
 			n++
 		}
 	}
+	if n > 0 {
+		t.freePrefix, t.freePos = nil, nil
+	}
 	return n
 }

@@ -1,0 +1,248 @@
+package slot
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// bruteNextFree is the pre-index reference: scan forward one slot at a
+// time.
+func bruteNextFree(t *Table, from Time) Time {
+	if t.FreeCount() == 0 || t.Len() == 0 {
+		return Never
+	}
+	for at := from; ; at++ {
+		if t.IsFree(at) {
+			return at
+		}
+	}
+}
+
+// bruteFreeIn is the pre-index reference: count the window slot by
+// slot.
+func bruteFreeIn(t *Table, from, length Time) Time {
+	n := Time(0)
+	for at := from; at < from+length; at++ {
+		if t.Len() > 0 && t.IsFree(at) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestOwnedByMatchesScan(t *testing.T) {
+	tab, _, err := Build([]Requirement{
+		{ID: 0, Period: 8, WCET: 2, Deadline: 8},
+		{ID: 1, Period: 16, WCET: 3, Deadline: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := TaskID(0); id <= 2; id++ {
+		var want []Time
+		for i := 0; i < tab.Len(); i++ {
+			if tab.Owner(Time(i)) == id {
+				want = append(want, Time(i))
+			}
+		}
+		if got := tab.OwnedBy(id); !reflect.DeepEqual(got, want) {
+			t.Errorf("OwnedBy(%d) = %v, want %v", id, got, want)
+		}
+		if got := tab.OwnedBy(id); !sort.SliceIsSorted(got, func(a, b int) bool { return got[a] < got[b] }) {
+			t.Errorf("OwnedBy(%d) not ascending: %v", id, got)
+		}
+	}
+}
+
+// TestFreeIndexTracksMutations interleaves every mutation path —
+// Assign, Clear, Release, AllocatePeriodic — with NextFree/FreeIn
+// queries (which lazily build the index) and checks each answer
+// against the brute-force reference. A mutation that forgets to drop
+// the index makes the cached answers stale and fails here.
+func TestFreeIndexTracksMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tab := NewTable(64)
+	check := func(ctx string) {
+		t.Helper()
+		for k := 0; k < 8; k++ {
+			from := Time(rng.Intn(200)) - 30
+			if got, want := tab.NextFree(from), bruteNextFree(tab, from); got != want {
+				t.Fatalf("%s: NextFree(%d) = %d, want %d", ctx, from, got, want)
+			}
+			length := Time(rng.Intn(180))
+			if got, want := tab.FreeIn(from, length), bruteFreeIn(tab, from, length); got != want {
+				t.Fatalf("%s: FreeIn(%d,%d) = %d, want %d", ctx, from, length, got, want)
+			}
+		}
+	}
+	check("fresh table")
+	for round := 0; round < 50; round++ {
+		switch rng.Intn(4) {
+		case 0:
+			at := Time(rng.Intn(64))
+			if tab.IsFree(at) {
+				if err := tab.Assign(at, TaskID(rng.Intn(4))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 1:
+			tab.Clear(Time(rng.Intn(64)))
+		case 2:
+			tab.Release(TaskID(rng.Intn(4)))
+		case 3:
+			// May fail when the table is crowded; that's fine — failure
+			// rolls back through Assign/Clear which also invalidate.
+			_, _ = tab.AllocatePeriodic(Requirement{
+				ID: TaskID(10 + rng.Intn(3)), Period: 32, WCET: 1 + Time(rng.Intn(2)), Deadline: 32,
+			})
+			tab.Release(TaskID(10 + rng.Intn(3)))
+		}
+		check("after mutation round")
+	}
+}
+
+// TestReleaseInvalidatesIndex pins the specific staleness bug the
+// randomized test would eventually catch: Release writes t.slots
+// directly (not via Clear), so it must drop the lazy index itself.
+func TestReleaseInvalidatesIndex(t *testing.T) {
+	tab := NewTable(8)
+	for i := 0; i < 8; i++ {
+		if err := tab.Assign(Time(i), 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tab.NextFree(0); got != Never { // builds the (empty) index
+		t.Fatalf("NextFree on full table = %d, want Never", got)
+	}
+	if n := tab.Release(5); n != 8 {
+		t.Fatalf("Release freed %d, want 8", n)
+	}
+	if got := tab.NextFree(3); got != 3 {
+		t.Errorf("NextFree(3) after Release = %d, want 3 (stale index?)", got)
+	}
+	if got := tab.FreeIn(0, 8); got != 8 {
+		t.Errorf("FreeIn(0,8) after Release = %d, want 8 (stale index?)", got)
+	}
+}
+
+// referenceBuild is the original per-slot linear-scan Build (the
+// pre-optimization implementation, verbatim in behavior): at every
+// slot of the 2H sweep, pick the first min-deadline released job in
+// deadline-sorted order. The heap-based Build must be
+// indistinguishable from it.
+func referenceBuild(reqs []Requirement) (*Table, []Placement, error) {
+	if len(reqs) == 0 {
+		return NewTable(0), nil, nil
+	}
+	ids := map[TaskID]bool{}
+	periods := make([]Time, 0, len(reqs))
+	for _, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return nil, nil, err
+		}
+		if ids[r.ID] {
+			return nil, nil, errors.New("slot: duplicate task id")
+		}
+		ids[r.ID] = true
+		periods = append(periods, r.Period)
+	}
+	h := LCMAll(periods...)
+	if h == Never || h > 1<<22 {
+		return nil, nil, errors.New("slot: hyper-period too large")
+	}
+	type job struct {
+		req       Requirement
+		release   Time
+		deadline  Time
+		remaining Time
+		placed    []Time
+	}
+	var jobs []*job
+	for _, r := range reqs {
+		for rel := r.Offset; rel < h; rel += r.Period {
+			jobs = append(jobs, &job{req: r, release: rel, deadline: rel + r.Deadline, remaining: r.WCET})
+		}
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].deadline != jobs[j].deadline {
+			return jobs[i].deadline < jobs[j].deadline
+		}
+		return jobs[i].release < jobs[j].release
+	})
+	tab := NewTable(int(h))
+	for now := Time(0); now < 2*h; now++ {
+		var pick *job
+		for _, j := range jobs {
+			if j.remaining == 0 || j.release > now || now >= j.deadline {
+				continue
+			}
+			if pick == nil || j.deadline < pick.deadline {
+				pick = j
+			}
+		}
+		if pick == nil || !tab.IsFree(now) {
+			continue
+		}
+		if err := tab.Assign(now, pick.req.ID); err != nil {
+			return nil, nil, err
+		}
+		pick.placed = append(pick.placed, now%h)
+		pick.remaining--
+	}
+	placements := make([]Placement, 0, len(jobs))
+	for _, j := range jobs {
+		if j.remaining > 0 {
+			return nil, nil, ErrOverload
+		}
+		placements = append(placements, Placement{Task: j.req.ID, Release: j.release, Deadline: j.deadline, Slots: j.placed})
+	}
+	sort.Slice(placements, func(i, j int) bool {
+		if placements[i].Release != placements[j].Release {
+			return placements[i].Release < placements[j].Release
+		}
+		return placements[i].Task < placements[j].Task
+	})
+	return tab, placements, nil
+}
+
+// TestBuildMatchesReferenceScan drives both Build implementations over
+// randomized requirement sets — including offsets, tight deadlines and
+// overloaded sets — and demands identical tables, placements and
+// overload verdicts.
+func TestBuildMatchesReferenceScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	periods := []Time{4, 8, 16, 32, 64}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		reqs := make([]Requirement, 0, n)
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			w := 1 + Time(rng.Intn(int(p/2)))
+			d := w + Time(rng.Intn(int(p-w+1))) // w ≤ d ≤ p
+			reqs = append(reqs, Requirement{
+				ID: TaskID(i), Period: p, WCET: w, Deadline: d, Offset: Time(rng.Intn(int(p))),
+			})
+		}
+		wantTab, wantPl, wantErr := referenceBuild(reqs)
+		gotTab, gotPl, gotErr := Build(reqs)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: reference err %v, Build err %v (reqs %+v)", trial, wantErr, gotErr, reqs)
+		}
+		if wantErr != nil {
+			if !errors.Is(gotErr, ErrOverload) {
+				t.Fatalf("trial %d: Build error not ErrOverload: %v", trial, gotErr)
+			}
+			continue
+		}
+		if wantTab.String() != gotTab.String() {
+			t.Fatalf("trial %d: tables differ\nref:   %s\nbuild: %s\nreqs %+v",
+				trial, wantTab.String(), gotTab.String(), reqs)
+		}
+		if !reflect.DeepEqual(wantPl, gotPl) {
+			t.Fatalf("trial %d: placements differ\nref:   %+v\nbuild: %+v", trial, wantPl, gotPl)
+		}
+	}
+}

@@ -96,6 +96,30 @@ func LCMAll(vs ...Time) Time {
 type Table struct {
 	slots []TaskID
 	free  int
+
+	// Lazily built index over the free slots, dropped on any mutation:
+	// freePrefix[i] counts the free slots in [0,i), and freePos lists
+	// the free positions in ascending order. Both serve the O(1)/O(log)
+	// queries the fast-forwarding simulation loop issues per skipped
+	// span (FreeIn, NextFree).
+	freePrefix []int32
+	freePos    []Time
+}
+
+// ensureIndex (re)builds the free-slot index if a mutation dropped it.
+func (t *Table) ensureIndex() {
+	if t.freePrefix != nil || len(t.slots) == 0 {
+		return
+	}
+	t.freePrefix = make([]int32, len(t.slots)+1)
+	t.freePos = make([]Time, 0, t.free)
+	for i, id := range t.slots {
+		t.freePrefix[i+1] = t.freePrefix[i]
+		if id == Free {
+			t.freePrefix[i+1]++
+			t.freePos = append(t.freePos, Time(i))
+		}
+	}
 }
 
 // NewTable returns an all-free table with hyper-period h.
@@ -161,6 +185,7 @@ func (t *Table) Assign(at Time, id TaskID) error {
 	}
 	t.slots[i] = id
 	t.free--
+	t.freePrefix, t.freePos = nil, nil
 	return nil
 }
 
@@ -173,6 +198,7 @@ func (t *Table) Clear(at Time) {
 	if t.slots[i] != Free {
 		t.slots[i] = Free
 		t.free++
+		t.freePrefix, t.freePos = nil, nil
 	}
 }
 
@@ -181,6 +207,18 @@ func (t *Table) Clone() *Table {
 	c := &Table{slots: make([]TaskID, len(t.slots)), free: t.free}
 	copy(c.slots, t.slots)
 	return c
+}
+
+// OwnedBy returns the indices (0 ≤ i < H) of every slot owned by id,
+// in increasing order.
+func (t *Table) OwnedBy(id TaskID) []Time {
+	var out []Time
+	for i, o := range t.slots {
+		if o == id {
+			out = append(out, Time(i))
+		}
+	}
+	return out
 }
 
 // FreeSlots returns the indices (0 ≤ i < H) of all free slots, in
@@ -201,12 +239,14 @@ func (t *Table) NextFree(from Time) Time {
 	if t.free == 0 || len(t.slots) == 0 {
 		return Never
 	}
-	for i := Time(0); i < Time(len(t.slots)); i++ {
-		if t.IsFree(from + i) {
-			return from + i
-		}
+	t.ensureIndex()
+	idx := Time(t.index(from))
+	i := sort.Search(len(t.freePos), func(k int) bool { return t.freePos[k] >= idx })
+	if i < len(t.freePos) {
+		return from + (t.freePos[i] - idx)
 	}
-	return Never
+	h := Time(len(t.slots))
+	return from + (h - idx) + t.freePos[0]
 }
 
 // FreeIn returns the number of free slots in the half-open window
@@ -215,13 +255,17 @@ func (t *Table) FreeIn(from, length Time) Time {
 	if length <= 0 || len(t.slots) == 0 {
 		return 0
 	}
+	t.ensureIndex()
 	h := Time(len(t.slots))
 	full := length / h
 	n := full * Time(t.free)
-	for i := Time(0); i < length%h; i++ {
-		if t.IsFree(from + i) {
-			n++
-		}
+	lo := Time(t.index(from))
+	rem := length % h
+	if hi := lo + rem; hi <= h {
+		n += Time(t.freePrefix[hi] - t.freePrefix[lo])
+	} else {
+		n += Time(t.freePrefix[h] - t.freePrefix[lo])
+		n += Time(t.freePrefix[hi-h])
 	}
 	return n
 }
@@ -324,6 +368,7 @@ func Build(reqs []Requirement) (*Table, []Placement, error) {
 		deadline  Time
 		remaining Time
 		placed    []Time
+		idx       int // position in deadline-sorted order: EDF tie-break
 	}
 	var jobs []*job
 	for _, r := range reqs {
@@ -342,34 +387,89 @@ func Build(reqs []Requirement) (*Table, []Placement, error) {
 		}
 		return jobs[i].release < jobs[j].release
 	})
+	for i, j := range jobs {
+		j.idx = i
+	}
+	byRelease := append([]*job(nil), jobs...)
+	sort.Slice(byRelease, func(a, b int) bool { return byRelease[a].release < byRelease[b].release })
 
 	tab := NewTable(int(h))
-	// Offline preemptive EDF: walk the slots once; at each slot run
-	// the released, unfinished job with the earliest deadline. Jobs
-	// whose deadline crosses the hyper-period boundary wrap onto the
-	// (identical) next repetition, so we sweep 2H slots but only
-	// place within [release, deadline).
-	for now := Time(0); now < 2*h; now++ {
-		var pick *job
-		for _, j := range jobs {
-			if j.remaining == 0 || j.release > now || now >= j.deadline {
-				continue
-			}
-			if pick == nil || j.deadline < pick.deadline {
-				pick = j
-			}
+	// Offline preemptive EDF: sweep the slots once, keeping the
+	// released unfinished jobs in a min-heap on (deadline, sorted
+	// position) — the same pick order as a linear scan of the
+	// deadline-sorted slice. Jobs whose deadline crosses the
+	// hyper-period boundary wrap onto the (identical) next repetition,
+	// so the sweep covers 2H slots but only places within
+	// [release, deadline); stretches with no released work are jumped.
+	less := func(a, b *job) bool {
+		if a.deadline != b.deadline {
+			return a.deadline < b.deadline
 		}
-		if pick == nil {
+		return a.idx < b.idx
+	}
+	var ready []*job
+	push := func(j *job) {
+		ready = append(ready, j)
+		for i := len(ready) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(ready[i], ready[p]) {
+				break
+			}
+			ready[i], ready[p] = ready[p], ready[i]
+			i = p
+		}
+	}
+	pop := func() {
+		n := len(ready) - 1
+		ready[0] = ready[n]
+		ready[n] = nil
+		ready = ready[:n]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < n && less(ready[l], ready[m]) {
+				m = l
+			}
+			if r < n && less(ready[r], ready[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			ready[i], ready[m] = ready[m], ready[i]
+			i = m
+		}
+	}
+	ri := 0
+	for now := Time(0); now < 2*h; {
+		for ri < len(byRelease) && byRelease[ri].release <= now {
+			push(byRelease[ri])
+			ri++
+		}
+		// An expired head can never be placed again; it surfaces as
+		// ErrOverload below, exactly as under the per-slot scan.
+		for len(ready) > 0 && ready[0].deadline <= now {
+			pop()
+		}
+		if len(ready) == 0 {
+			if ri >= len(byRelease) {
+				break
+			}
+			now = byRelease[ri].release
 			continue
 		}
-		if !tab.IsFree(now) {
-			continue // slot already taken by a wrapped earlier placement
+		if tab.IsFree(now) { // else: taken by a wrapped earlier placement
+			pick := ready[0]
+			if err := tab.Assign(now, pick.req.ID); err != nil {
+				return nil, nil, err
+			}
+			pick.placed = append(pick.placed, now%h)
+			pick.remaining--
+			if pick.remaining == 0 {
+				pop()
+			}
 		}
-		if err := tab.Assign(now, pick.req.ID); err != nil {
-			return nil, nil, err
-		}
-		pick.placed = append(pick.placed, now%h)
-		pick.remaining--
+		now++
 	}
 	placements := make([]Placement, 0, len(jobs))
 	for _, j := range jobs {

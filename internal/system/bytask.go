@@ -24,15 +24,16 @@ type TaskStat struct {
 // keyed by task ID.
 func (c *Collector) ByTask() map[int]*TaskStat {
 	out := map[int]*TaskStat{}
-	for i, j := range c.jobs {
+	for _, d := range c.done {
+		j := d.job
 		st, ok := out[j.Task.ID]
 		if !ok {
 			st = &TaskStat{Task: j.Task}
 			out[j.Task.ID] = st
 		}
 		st.Completed++
-		st.Response.AddTime(c.at[i] - j.Release)
-		if c.at[i] > j.Deadline {
+		st.Response.AddTime(d.at - j.Release)
+		if d.at > j.Deadline {
 			st.Misses++
 		}
 	}

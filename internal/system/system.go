@@ -11,6 +11,7 @@ import (
 
 	"ioguard/internal/metrics"
 	"ioguard/internal/rtos"
+	"ioguard/internal/sim"
 	"ioguard/internal/slot"
 	"ioguard/internal/task"
 	"ioguard/internal/vm"
@@ -36,28 +37,49 @@ type System interface {
 	Dropped() int64
 }
 
+// completion pairs a finished job with its observed completion slot.
+type completion struct {
+	job *task.Job
+	at  slot.Time
+}
+
 // Collector records observed completions. Systems call Complete from
 // their response paths; the collector keeps the observation time
 // (which includes response latency) separate from the job's raw
-// Finish slot.
+// Finish slot. The zero value is usable; NewCollector pre-sizes the
+// backing array so a trial's hot path never regrows it.
 type Collector struct {
-	jobs []*task.Job
-	at   []slot.Time
+	done []completion
+}
+
+// maxCollectorPresize caps the pre-allocation of NewCollector: a
+// degenerate horizon/period combination must not reserve unbounded
+// memory up front (the slice still grows on demand past the cap).
+const maxCollectorPresize = 1 << 16
+
+// NewCollector returns a collector with room for about n completions.
+func NewCollector(n int) *Collector {
+	if n < 0 {
+		n = 0
+	}
+	if n > maxCollectorPresize {
+		n = maxCollectorPresize
+	}
+	return &Collector{done: make([]completion, 0, n)}
 }
 
 // Complete records that j's requester observed completion at slot at.
 func (c *Collector) Complete(j *task.Job, at slot.Time) {
-	c.jobs = append(c.jobs, j)
-	c.at = append(c.at, at)
+	c.done = append(c.done, completion{job: j, at: at})
 }
 
 // Completed returns the number of recorded completions.
-func (c *Collector) Completed() int { return len(c.jobs) }
+func (c *Collector) Completed() int { return len(c.done) }
 
 // Each visits the recorded completions in order.
 func (c *Collector) Each(visit func(j *task.Job, at slot.Time)) {
-	for i, j := range c.jobs {
-		visit(j, c.at[i])
+	for _, d := range c.done {
+		visit(d.job, d.at)
 	}
 }
 
@@ -73,16 +95,17 @@ func critical(t *task.Sporadic) bool {
 // whose deadline lies beyond the horizon are censored.
 func (c *Collector) Result(sys System, horizon slot.Time) *metrics.TrialResult {
 	res := &metrics.TrialResult{Horizon: horizon, Dropped: sys.Dropped()}
-	for i, j := range c.jobs {
+	for _, d := range c.done {
+		j := d.job
 		res.Completed++
 		res.BytesServed += int64(j.Task.OpBytes)
-		res.Response.AddTime(c.at[i] - j.Release)
-		tard := c.at[i] - j.Deadline
+		res.Response.AddTime(d.at - j.Release)
+		tard := d.at - j.Deadline
 		if tard < 0 {
 			tard = 0
 		}
 		res.Tardiness.AddTime(tard)
-		if c.at[i] > j.Deadline {
+		if d.at > j.Deadline {
 			if critical(j.Task) {
 				res.CriticalMisses++
 			} else {
@@ -109,6 +132,12 @@ type Trial struct {
 	Tasks   task.Set
 	Horizon slot.Time
 	Seed    int64
+	// Dense forces slot-by-slot stepping even when the system under
+	// test implements the quiescence protocol (sim.Quiescer). The zero
+	// value lets Run fast-forward over idle regions; both modes produce
+	// byte-identical results — an invariant enforced by the equivalence
+	// tests and the CI cmp job.
+	Dense bool
 }
 
 // Builder constructs a system wired to a collector. It receives the
@@ -116,9 +145,29 @@ type Trial struct {
 // which tasks to drive externally.
 type Builder func(tr Trial, col *Collector) (System, error)
 
+// expectedCompletions bounds how many jobs a trial can complete, for
+// pre-sizing the collector: one job per task period within the
+// horizon, plus the partial period.
+func expectedCompletions(ts task.Set, horizon slot.Time) int {
+	var n slot.Time
+	for _, t := range ts {
+		if t.Period > 0 {
+			n += horizon/t.Period + 1
+		}
+	}
+	return int(n)
+}
+
 // Run executes one trial: a deterministic VM fleet releases the
-// system's residual tasks while the system steps once per slot, then
-// the collector scores the outcome.
+// system's residual tasks while the system steps, then the collector
+// scores the outcome.
+//
+// When the built system implements sim.Quiescer (and tr.Dense is
+// unset), the slot loop fast-forwards over regions where the system
+// declares no work and the fleet has no release due — idle spans cost
+// O(1) instead of O(slots). Fast-forward never skips a slot the
+// system declared busy, so dense and fast-forward runs are
+// byte-identical.
 func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 	if tr.Horizon <= 0 {
 		return nil, fmt.Errorf("system: non-positive horizon %d", tr.Horizon)
@@ -126,7 +175,7 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 	if err := tr.Tasks.Validate(); err != nil {
 		return nil, err
 	}
-	col := &Collector{}
+	col := NewCollector(expectedCompletions(tr.Tasks, tr.Horizon))
 	sys, err := build(tr, col)
 	if err != nil {
 		return nil, err
@@ -136,9 +185,37 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	for now := slot.Time(0); now < tr.Horizon; now++ {
-		fleet.Release(now, func(j *task.Job) { sys.Submit(now, j) })
+	q, _ := sys.(sim.Quiescer)
+	sk, _ := sys.(sim.Skipper)
+	// One closure for the whole trial: a per-slot closure would
+	// allocate on every iteration of the hot loop.
+	var now slot.Time
+	submit := func(j *task.Job) { sys.Submit(now, j) }
+	for now = 0; now < tr.Horizon; now++ {
+		fleet.Release(now, submit)
 		sys.Step(now)
+		if tr.Dense || q == nil {
+			continue
+		}
+		resume := now + 1
+		nw := q.NextWork(resume)
+		if nw <= resume {
+			continue
+		}
+		next := tr.Horizon
+		if nr := fleet.NextRelease(); nr < next {
+			next = nr
+		}
+		if nw < next {
+			next = nw
+		}
+		if next <= resume {
+			continue
+		}
+		if sk != nil {
+			sk.SkipTo(resume, next)
+		}
+		now = next - 1
 	}
 	res := col.Result(sys, tr.Horizon)
 	res.Released = fleet.Released()

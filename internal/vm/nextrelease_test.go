@@ -1,0 +1,83 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+// jittered returns a sporadic set whose releases depend on the shared
+// RNG, the case NextRelease must stay exact for.
+func jittered(vmID, idBase int) task.Set {
+	return task.Set{
+		{ID: idBase, VM: vmID, Period: 10, WCET: 2, Deadline: 10, Jitter: 5},
+		{ID: idBase + 1, VM: vmID, Period: 25, WCET: 3, Deadline: 20, Jitter: 12},
+	}
+}
+
+type rel struct {
+	task int
+	seq  int
+	at   slot.Time
+}
+
+// TestNextReleaseExact: jumping straight from release slot to release
+// slot (the fast-forward pattern) must reproduce the exact release
+// trace of calling Release on every slot. Jitter is materialized into
+// the next-release array when the previous job is emitted, so
+// NextRelease is a precise schedule, not a bound.
+func TestNextReleaseExact(t *testing.T) {
+	const horizon = 2000
+
+	dense, err := NewFleet(2, append(jittered(0, 0), jittered(1, 2)...), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var denseTrace []rel
+	for now := slot.Time(0); now < horizon; now++ {
+		dense.Release(now, func(j *task.Job) {
+			denseTrace = append(denseTrace, rel{j.Task.ID, j.Seq, now})
+		})
+	}
+
+	jump, err := NewFleet(2, append(jittered(0, 0), jittered(1, 2)...), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jumpTrace []rel
+	visited := 0
+	for now := jump.NextRelease(); now < horizon; now = jump.NextRelease() {
+		visited++
+		jump.Release(now, func(j *task.Job) {
+			jumpTrace = append(jumpTrace, rel{j.Task.ID, j.Seq, now})
+		})
+		if jump.NextRelease() <= now {
+			t.Fatalf("NextRelease did not advance past %d", now)
+		}
+	}
+	if visited >= horizon {
+		t.Fatal("jump runner visited every slot; nothing was skipped")
+	}
+	if len(denseTrace) != len(jumpTrace) {
+		t.Fatalf("dense released %d jobs, jump released %d", len(denseTrace), len(jumpTrace))
+	}
+	for i := range denseTrace {
+		if denseTrace[i] != jumpTrace[i] {
+			t.Fatalf("release %d diverges: dense %+v, jump %+v", i, denseTrace[i], jumpTrace[i])
+		}
+	}
+}
+
+// TestNextReleaseEmptyGuest: a guest without tasks never has a
+// release.
+func TestNextReleaseEmptyGuest(t *testing.T) {
+	f, err := NewFleet(1, nil, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.NextRelease(); got != slot.Never {
+		t.Errorf("empty fleet NextRelease = %d, want Never", got)
+	}
+}

@@ -82,6 +82,21 @@ func (g *Guest) Release(now slot.Time, emit func(j *task.Job)) {
 	}
 }
 
+// NextRelease returns the earliest upcoming release slot across the
+// guest's tasks, or slot.Never for a guest without tasks. It is exact,
+// not a bound: release jitter is materialized into next[] when the
+// previous job is released, so the runner may fast-forward straight to
+// this slot without missing a release.
+func (g *Guest) NextRelease() slot.Time {
+	next := slot.Never
+	for _, at := range g.next {
+		if at < next {
+			next = at
+		}
+	}
+	return next
+}
+
 // Fleet is a set of guests released in VM order.
 type Fleet []*Guest
 
@@ -114,6 +129,18 @@ func (f Fleet) Release(now slot.Time, emit func(j *task.Job)) {
 	for _, g := range f {
 		g.Release(now, emit)
 	}
+}
+
+// NextRelease returns the earliest upcoming release slot across the
+// fleet, or slot.Never when no guest has tasks.
+func (f Fleet) NextRelease() slot.Time {
+	next := slot.Never
+	for _, g := range f {
+		if at := g.NextRelease(); at < next {
+			next = at
+		}
+	}
+	return next
 }
 
 // Released returns the fleet-wide release count.

@@ -1,0 +1,28 @@
+// Stretching the case-study workload: the automotive task table fixes
+// the base utilization at 0.40 per device, so sparser (idle-heavy)
+// scenarios are derived by scaling periods rather than by lowering the
+// generator's target.
+package workload
+
+import (
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+// Stretch returns a copy of ts with every period, deadline and jitter
+// bound multiplied by k, dividing each task's utilization by k while
+// preserving the constrained-deadline model. k ≤ 1 returns ts
+// unchanged.
+func Stretch(ts task.Set, k slot.Time) task.Set {
+	if k <= 1 {
+		return ts
+	}
+	out := make(task.Set, len(ts))
+	for i, t := range ts {
+		t.Period *= k
+		t.Deadline *= k
+		t.Jitter *= k
+		out[i] = t
+	}
+	return out
+}
