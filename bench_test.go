@@ -312,6 +312,15 @@ func BenchmarkEngineIdle(b *testing.B) { benchSuite(b, "EngineIdle") }
 // system.Run, dense vs fast-forward.
 func BenchmarkRunSparse(b *testing.B) { benchSuite(b, "RunSparse") }
 
+// BenchmarkRunSkewed measures the one-busy-device skew cell (bursty
+// telemetry on four near-idle devices plus a 60%-utilized CAN
+// controller) under all three execution protocols: dense stepping,
+// the legacy single-clock fast-forward (globalmin), and the decoupled
+// per-device clocks (fastforward). The fastforward/globalmin ratio is
+// the decoupling's own win — a busy device no longer throttles idle
+// peers.
+func BenchmarkRunSkewed(b *testing.B) { benchSuite(b, "RunSkewed") }
+
 // BenchmarkHypervisorStep measures the simulator's slot-processing
 // rate for the full I/O-GUARD system (useful when sizing longer
 // sweeps; not a paper figure).

@@ -70,8 +70,11 @@ func measure(spec benchsuite.Spec) Result {
 	return res
 }
 
-// speedups pairs every <base>/dense result with its <base>/fastforward
-// sibling.
+// speedups pairs every <base>/dense and <base>/globalmin result with
+// its <base>/fastforward sibling. The Dense* fields hold the baseline
+// variant's numbers; for "/globalmin" entries that baseline is the
+// single-clock fast-forward rather than dense stepping, so the ratio
+// isolates what the per-device clock decoupling buys on its own.
 func speedups(results []Result) []Speedup {
 	byName := make(map[string]Result, len(results))
 	for _, r := range results {
@@ -79,22 +82,28 @@ func speedups(results []Result) []Speedup {
 	}
 	var out []Speedup
 	for _, r := range results {
-		base, ok := strings.CutSuffix(r.Name, "/dense")
-		if !ok {
-			continue
+		for _, suffix := range []string{"/dense", "/globalmin"} {
+			base, ok := strings.CutSuffix(r.Name, suffix)
+			if !ok {
+				continue
+			}
+			ff, ok := byName[base+"/fastforward"]
+			if !ok || ff.NsPerOp == 0 {
+				continue
+			}
+			name := base
+			if suffix == "/globalmin" {
+				name = base + "/globalmin"
+			}
+			out = append(out, Speedup{
+				Name:          name,
+				DenseNsPerOp:  r.NsPerOp,
+				FFNsPerOp:     ff.NsPerOp,
+				Speedup:       r.NsPerOp / ff.NsPerOp,
+				DenseSlotsSec: r.SlotsPerSec,
+				FFSlotsSec:    ff.SlotsPerSec,
+			})
 		}
-		ff, ok := byName[base+"/fastforward"]
-		if !ok || ff.NsPerOp == 0 {
-			continue
-		}
-		out = append(out, Speedup{
-			Name:          base,
-			DenseNsPerOp:  r.NsPerOp,
-			FFNsPerOp:     ff.NsPerOp,
-			Speedup:       r.NsPerOp / ff.NsPerOp,
-			DenseSlotsSec: r.SlotsPerSec,
-			FFSlotsSec:    ff.SlotsPerSec,
-		})
 	}
 	return out
 }

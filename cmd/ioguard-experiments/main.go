@@ -33,7 +33,7 @@ func main() {
 		utilArg = flag.Float64("util", 0.8, "target utilization for the ablation")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines running trial cells (output is identical for any value)")
-		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (output is identical either way)")
+		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (disables the decoupled per-device clocks; output is identical either way)")
 	)
 	flag.Parse()
 	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, *workers, *dense); err != nil {

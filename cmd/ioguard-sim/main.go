@@ -44,7 +44,7 @@ func main() {
 		gantt   = flag.Int("gantt", 0, "print a Gantt chart of the first N slots (I/O-GUARD only, single trial)")
 		csvPath = flag.String("csv", "", "write the execution trace as CSV (I/O-GUARD only, single trial)")
 		byTask  = flag.Bool("bytask", false, "print per-task completion/miss statistics (single trial)")
-		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (output is identical either way)")
+		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (disables the decoupled per-device clocks; output is identical either way)")
 	)
 	flag.Parse()
 	if err := run(*sysName, *vms, *util, *hps, *seed, *trials, *workers, *gantt, *csvPath, *byTask, *dense); err != nil {

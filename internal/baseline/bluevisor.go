@@ -10,7 +10,6 @@ package baseline
 
 import (
 	"fmt"
-	"sort"
 
 	"ioguard/internal/queue"
 	"ioguard/internal/rtos"
@@ -19,18 +18,77 @@ import (
 	"ioguard/internal/task"
 )
 
-// BlueVisor is the BS|BV baseline.
+// bvShard is one device's controller pipeline: the bounded hardware
+// path (a delay queue keyed by pool-arrival slot) in front of the
+// device's round-robin station. Devices never touch each other's
+// state — there is no shared mesh in BlueVisor — so each shard may
+// advance on its own virtual clock.
+type bvShard struct {
+	owner   *BlueVisor
+	dev     string
+	st      *station
+	pending *queue.PQ[*task.Job] // keyed by pool-arrival slot
+}
+
+// Devices returns the single device this shard owns.
+func (s *bvShard) Devices() []string { return []string{s.dev} }
+
+// Submit forwards the job over the bounded hardware path into its
+// VM's FIFO pool at the device.
+func (s *bvShard) Submit(now slot.Time, j *task.Job) {
+	s.pending.Push(now+s.owner.path.Request, j)
+}
+
+// Step admits due jobs to their pools and services the controller.
+func (s *bvShard) Step(now slot.Time) {
+	for {
+		_, at, j, ok := s.pending.Min()
+		if !ok || at > now {
+			break
+		}
+		s.pending.PopMin()
+		if err := s.st.enqueue(j); err != nil {
+			s.owner.dropped++
+		}
+	}
+	s.st.step(now)
+}
+
+// NextWork implements the sim.Quiescer protocol on the shard's local
+// clock: now while the station holds work, otherwise the earliest
+// pool-arrival slot.
+func (s *bvShard) NextWork(now slot.Time) slot.Time {
+	if s.st.busy() {
+		return now
+	}
+	if _, at, _, ok := s.pending.Min(); ok {
+		if at <= now {
+			return now
+		}
+		return at
+	}
+	return slot.Never
+}
+
+// pendingJobs visits jobs on the hardware path or queued at the
+// controller.
+func (s *bvShard) pendingJobs(visit func(j *task.Job)) {
+	s.pending.Each(func(_ queue.Handle, _ slot.Time, j *task.Job) { visit(j) })
+	s.st.pendingJobs(visit)
+}
+
+// BlueVisor is the BS|BV baseline: one bvShard per device.
 type BlueVisor struct {
-	tasks    task.Set
-	path     rtos.PathCost
-	col      *system.Collector
-	stations map[string]*station
-	devices  []string
-	pending  *queue.PQ[*task.Job] // keyed by pool-arrival slot
-	dropped  int64
+	tasks   task.Set
+	path    rtos.PathCost
+	col     *system.Collector
+	shards  []*bvShard
+	byDev   map[string]*bvShard
+	dropped int64
 }
 
 var _ system.System = (*BlueVisor)(nil)
+var _ system.ShardedSystem = (*BlueVisor)(nil)
 
 // NewBlueVisor builds the BlueVisor baseline.
 func NewBlueVisor(vms int, ts task.Set, col *system.Collector) (*BlueVisor, error) {
@@ -40,19 +98,16 @@ func NewBlueVisor(vms int, ts task.Set, col *system.Collector) (*BlueVisor, erro
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
-	path := rtos.Costs(rtos.BlueVisor)
 	b := &BlueVisor{
-		tasks:    ts,
-		path:     path,
-		col:      col,
-		stations: make(map[string]*station),
-		devices:  devicesOf(ts),
-		pending:  queue.NewPQ[*task.Job](0),
+		tasks: ts,
+		path:  rtos.Costs(rtos.BlueVisor),
+		col:   col,
+		byDev: make(map[string]*bvShard),
 	}
 	// BlueVisor's hardware translators program the controller faster
 	// than a software driver but still occupy it per operation.
 	const bvSetupSlots = 2
-	for _, dev := range b.devices {
+	for _, dev := range devicesOf(ts) {
 		st, err := newStation(dev, perVMRoundRobin, vms, bvSetupSlots, func(j *task.Job, finished slot.Time) {
 			if b.col != nil {
 				b.col.Complete(j, finished+b.path.Response)
@@ -61,9 +116,10 @@ func NewBlueVisor(vms int, ts task.Set, col *system.Collector) (*BlueVisor, erro
 		if err != nil {
 			return nil, err
 		}
-		b.stations[dev] = st
+		sh := &bvShard{owner: b, dev: dev, st: st, pending: queue.NewPQ[*task.Job](0)}
+		b.shards = append(b.shards, sh)
+		b.byDev[dev] = sh
 	}
-	sort.Strings(b.devices)
 	return b, nil
 }
 
@@ -76,57 +132,56 @@ func (b *BlueVisor) Arch() rtos.Arch { return rtos.BlueVisor }
 // Residual returns the full workload.
 func (b *BlueVisor) Residual() task.Set { return b.tasks }
 
-// Submit forwards the job over the bounded hardware path into its
-// VM's FIFO pool at the device.
+// Submit routes the job to its device's shard (jobs for unknown
+// devices are dropped — there is no controller to serve them).
 func (b *BlueVisor) Submit(now slot.Time, j *task.Job) {
-	b.pending.Push(now+b.path.Request, j)
+	sh, ok := b.byDev[j.Task.Device]
+	if !ok {
+		b.dropped++
+		return
+	}
+	sh.Submit(now, j)
 }
 
-// Step admits due jobs to their pools and services the controllers.
+// Step advances every shard one slot, in sorted device order (the
+// same order the decoupled scheduler preserves per slot).
 func (b *BlueVisor) Step(now slot.Time) {
-	for {
-		_, at, j, ok := b.pending.Min()
-		if !ok || at > now {
-			break
-		}
-		b.pending.PopMin()
-		st, ok := b.stations[j.Task.Device]
-		if !ok {
-			b.dropped++
-			continue
-		}
-		if err := st.enqueue(j); err != nil {
-			b.dropped++
-		}
-	}
-	for _, dev := range b.devices {
-		b.stations[dev].step(now)
+	for _, sh := range b.shards {
+		sh.Step(now)
 	}
 }
 
-// NextWork implements the sim.Quiescer protocol: now while any
-// station holds work, otherwise the earliest pool-arrival slot.
+// NextWork implements the sim.Quiescer protocol: the earliest shard
+// horizon.
 func (b *BlueVisor) NextWork(now slot.Time) slot.Time {
-	for _, dev := range b.devices {
-		if b.stations[dev].busy() {
-			return now
-		}
-	}
 	next := slot.Never
-	if _, at, _, ok := b.pending.Min(); ok {
-		if at <= now {
+	for _, sh := range b.shards {
+		nw := sh.NextWork(now)
+		if nw <= now {
 			return now
 		}
-		next = at
+		if nw < next {
+			next = nw
+		}
 	}
 	return next
 }
 
+// Shards implements system.ShardedSystem: one shard per device, in
+// sorted device order. BlueVisor has no cross-device coupling, so the
+// per-device decoupling is exact.
+func (b *BlueVisor) Shards() []system.Shard {
+	out := make([]system.Shard, len(b.shards))
+	for i, sh := range b.shards {
+		out[i] = sh
+	}
+	return out
+}
+
 // Pending visits jobs on the hardware path or queued at controllers.
 func (b *BlueVisor) Pending(visit func(j *task.Job)) {
-	b.pending.Each(func(_ queue.Handle, _ slot.Time, j *task.Job) { visit(j) })
-	for _, dev := range b.devices {
-		b.stations[dev].pendingJobs(visit)
+	for _, sh := range b.shards {
+		sh.pendingJobs(visit)
 	}
 }
 

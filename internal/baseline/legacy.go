@@ -21,6 +21,7 @@ type Legacy struct {
 	t       *meshTransport
 	tasks   task.Set
 	path    rtos.PathCost
+	devices []string
 	pending *queue.PQ[*task.Job] // keyed by injection slot
 }
 
@@ -46,11 +47,12 @@ func NewLegacy(vms int, ts task.Set, col *system.Collector) (*Legacy, error) {
 		return nil, err
 	}
 	path := rtos.Costs(rtos.Legacy)
-	t, err := newMeshTransport(vms, devicesOf(ts), col, path.Response)
+	devices := devicesOf(ts)
+	t, err := newMeshTransport(vms, devices, col, path.Response)
 	if err != nil {
 		return nil, err
 	}
-	return &Legacy{t: t, tasks: ts, path: path, pending: queue.NewPQ[*task.Job](0)}, nil
+	return &Legacy{t: t, tasks: ts, path: path, devices: devices, pending: queue.NewPQ[*task.Job](0)}, nil
 }
 
 // Name returns "BS|Legacy".
@@ -99,6 +101,22 @@ func (l *Legacy) NextWork(now slot.Time) slot.Time {
 	}
 	return next
 }
+
+// SkipTo implements sim.Skipper: a skipped span only ever covers mesh
+// link countdowns (NextWork pins every other kind of progress), which
+// the transport replays in bulk.
+func (l *Legacy) SkipTo(from, to slot.Time) { l.t.skipTo(from, to) }
+
+// Devices returns the workload's device names; as a single shard the
+// legacy system consumes every released job.
+func (l *Legacy) Devices() []string { return l.devices }
+
+// Shards implements system.ShardedSystem with a single shard: the
+// mesh couples every station bidirectionally (requests in, responses
+// out through shared routers), so stations cannot run on decoupled
+// clocks — but the one shard still benefits from release horizons and
+// the mesh transit fast-forward.
+func (l *Legacy) Shards() []system.Shard { return []system.Shard{l} }
 
 // Pending visits jobs still inside the system.
 func (l *Legacy) Pending(visit func(j *task.Job)) {

@@ -27,6 +27,7 @@ type RTXen struct {
 	t       *meshTransport
 	tasks   task.Set
 	path    rtos.PathCost
+	devices []string
 	vms     int
 	quantum slot.Time
 
@@ -51,7 +52,8 @@ func NewRTXen(vms int, ts task.Set, col *system.Collector, quantum slot.Time) (*
 		quantum = DefaultVCPUQuantum
 	}
 	path := rtos.Costs(rtos.RTXen)
-	t, err := newMeshTransport(vms, devicesOf(ts), col, path.Response)
+	devices := devicesOf(ts)
+	t, err := newMeshTransport(vms, devices, col, path.Response)
 	if err != nil {
 		return nil, err
 	}
@@ -59,6 +61,7 @@ func NewRTXen(vms int, ts task.Set, col *system.Collector, quantum slot.Time) (*
 		t:       t,
 		tasks:   ts,
 		path:    path,
+		devices: devices,
 		vms:     vms,
 		quantum: quantum,
 		pending: queue.NewPQ[*task.Job](0),
@@ -171,6 +174,21 @@ func (x *RTXen) NextWork(now slot.Time) slot.Time {
 	}
 	return next
 }
+
+// SkipTo implements sim.Skipper: skipped spans cover only mesh link
+// countdowns — NextWork pins VMM backend completion, queue service and
+// pending arrivals to executed slots.
+func (x *RTXen) SkipTo(from, to slot.Time) { x.t.skipTo(from, to) }
+
+// Devices returns the workload's device names; as a single shard the
+// RT-Xen system consumes every released job.
+func (x *RTXen) Devices() []string { return x.devices }
+
+// Shards implements system.ShardedSystem with a single shard: the
+// serialized VMM backend and the shared mesh couple every device, so
+// per-device clocks would be unsound here. The single shard still
+// gains the release-horizon and mesh-transit fast-forward.
+func (x *RTXen) Shards() []system.Shard { return []system.Shard{x} }
 
 // Pending visits jobs anywhere in the software or transport pipeline.
 func (x *RTXen) Pending(visit func(j *task.Job)) {

@@ -182,19 +182,24 @@ func (t *meshTransport) step(now slot.Time) {
 }
 
 // nextWork reports when the transport next needs a step: now while
-// any packet is in the mesh or any station is serving/queueing work,
-// slot.Never once everything has drained (the mesh and stations
-// generate no work on their own).
+// any station is serving/queueing work, the mesh's transit horizon
+// while packets are only counting down link serialization (the gap
+// the fast-forward may skip), slot.Never once everything has drained
+// (the mesh and stations generate no work on their own).
 func (t *meshTransport) nextWork(now slot.Time) slot.Time {
-	if t.mesh.InFlight() > 0 {
-		return now
-	}
 	for _, st := range t.stations {
 		if st.busy() {
 			return now
 		}
 	}
-	return slot.Never
+	return t.mesh.NextWork(now)
+}
+
+// skipTo bulk-advances the mesh's in-transit links over a skipped
+// span. Stations are idle whenever the engine skips (nextWork pins
+// busy stations to now), so only link countdowns need replaying.
+func (t *meshTransport) skipTo(from, to slot.Time) {
+	t.mesh.SkipTo(from, to)
 }
 
 // deviceNames returns the devices in deterministic (tile) order.

@@ -7,7 +7,10 @@
 // The dense/fastforward pairs exist to quantify the engine's
 // idle-slot fast-forward (sim.Quiescer): both variants execute the
 // identical simulation — the equivalence tests enforce bit-identical
-// results — so their ratio is pure scheduling-loop speedup.
+// results — so their ratio is pure scheduling-loop speedup. The
+// RunSkewed trio adds a /globalmin variant (single-clock fast-forward
+// with the per-device decoupling disabled) so the decoupling's own
+// contribution on one-busy-device workloads is measured separately.
 package benchsuite
 
 import (
@@ -158,6 +161,86 @@ func runSparse(b *testing.B, dense bool) {
 	}
 }
 
+// skewedHyperperiods sizes the RunSkewed horizon.
+const skewedHyperperiods slot.Time = 2
+
+// skewedWorkload builds the one-busy-device skew cell: bursty
+// telemetry keeps four devices almost idle while a diagnostic flood
+// drives the CAN controller to 60% utilization. Under a single global
+// clock the busy device pins the whole system to dense stepping; the
+// per-device clocks let the idle devices keep fast-forwarding.
+func skewedWorkload() (system.Trial, error) {
+	ts, err := workload.GenerateTelemetry(workload.TelemetryConfig{
+		VMs: 4, HotDevice: "can", HotUtil: 0.6, Seed: 1,
+	})
+	if err != nil {
+		return system.Trial{}, err
+	}
+	return system.Trial{
+		VMs:     4,
+		Tasks:   ts,
+		Horizon: ts.Hyperperiod() * skewedHyperperiods,
+		Seed:    1,
+	}, nil
+}
+
+// skewedSlotsPerOp reports the RunSkewed horizon for slots/sec
+// derivation.
+func skewedSlotsPerOp() int64 {
+	tr, err := skewedWorkload()
+	if err != nil {
+		return 0
+	}
+	return int64(tr.Horizon)
+}
+
+// globalMinSystem hides the ShardedSystem protocol of the wrapped
+// system, forcing system.Run onto the legacy single-clock fast-forward
+// (one global min over NextWork). The RunSkewed/globalmin variant uses
+// it to isolate what the per-device clocks buy beyond that.
+type globalMinSystem struct {
+	system.System
+	q  sim.Quiescer
+	sk sim.Skipper
+}
+
+func (g *globalMinSystem) NextWork(now slot.Time) slot.Time { return g.q.NextWork(now) }
+
+func (g *globalMinSystem) SkipTo(from, to slot.Time) {
+	if g.sk != nil {
+		g.sk.SkipTo(from, to)
+	}
+}
+
+func runSkewed(b *testing.B, variant string) {
+	tr, err := skewedWorkload()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Dense = variant == "dense"
+	build := func(tr system.Trial, col *system.Collector) (system.System, error) {
+		sys, err := core.New(core.Config{
+			VMs:  tr.VMs,
+			Mode: hypervisor.DirectEDF,
+		}, tr.Tasks, col)
+		if err != nil || variant != "globalmin" {
+			return sys, err
+		}
+		return &globalMinSystem{System: sys, q: sys, sk: sys}, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := system.Run(build, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed == 0 {
+			b.Fatal("trial completed no jobs")
+		}
+	}
+}
+
 // pqChurn measures the steady-state cost of the R-channel pool's
 // priority queue: push/pop cycles at a fixed resident depth. With the
 // node freelist this must run allocation-free.
@@ -194,6 +277,12 @@ func Specs() []Spec {
 			Bench: func(b *testing.B) { runSparse(b, true) }},
 		{Name: "RunSparse/fastforward", SlotsPerOp: sparseSlotsPerOp(),
 			Bench: func(b *testing.B) { runSparse(b, false) }},
+		{Name: "RunSkewed/dense", SlotsPerOp: skewedSlotsPerOp(),
+			Bench: func(b *testing.B) { runSkewed(b, "dense") }},
+		{Name: "RunSkewed/globalmin", SlotsPerOp: skewedSlotsPerOp(),
+			Bench: func(b *testing.B) { runSkewed(b, "globalmin") }},
+		{Name: "RunSkewed/fastforward", SlotsPerOp: skewedSlotsPerOp(),
+			Bench: func(b *testing.B) { runSkewed(b, "fastforward") }},
 		{Name: "PQChurn", SlotsPerOp: 0, Bench: pqChurn},
 	}
 }

@@ -309,6 +309,52 @@ func (s *System) SkipTo(from, to slot.Time) { s.hv.SkipTo(from, to) }
 // Pending visits jobs buffered inside the hypervisor.
 func (s *System) Pending(visit func(j *task.Job)) { s.hv.PendingJobs(visit) }
 
+// deviceShard adapts one device's virtualization manager to the
+// per-component clock protocol. Managers are fully independent — the
+// R-channel, P-channel and response path of one device never touch
+// another's state — so each may advance on its own virtual clock.
+type deviceShard struct {
+	dev      string
+	mgr      *hypervisor.Manager
+	overhead slot.Time
+}
+
+// Devices returns the single device this shard owns.
+func (d *deviceShard) Devices() []string { return []string{d.dev} }
+
+// Submit mirrors System.Submit for this device: the request-
+// translation overhead is charged before the manager sees the job.
+func (d *deviceShard) Submit(now slot.Time, j *task.Job) {
+	j.Remaining += d.overhead
+	d.mgr.Submit(now, j)
+}
+
+// Step advances the manager one slot of its local clock.
+func (d *deviceShard) Step(now slot.Time) { d.mgr.Step(now) }
+
+// NextWork is the manager's quiescence bound on its local clock.
+func (d *deviceShard) NextWork(now slot.Time) slot.Time { return d.mgr.NextWork(now) }
+
+// SkipTo bulk-accounts a fast-forwarded idle span.
+func (d *deviceShard) SkipTo(from, to slot.Time) { d.mgr.SkipTo(from, to) }
+
+// Shards implements system.ShardedSystem: one shard per device
+// manager, in sorted device order (the same order the monolithic Step
+// iterates, which keeps the decoupled completion interleaving
+// byte-identical to dense runs).
+func (s *System) Shards() []system.Shard {
+	devs := s.hv.Devices()
+	out := make([]system.Shard, 0, len(devs))
+	for _, dev := range devs {
+		mgr, err := s.hv.Manager(dev)
+		if err != nil {
+			continue
+		}
+		out = append(out, &deviceShard{dev: dev, mgr: mgr, overhead: s.overhead[dev]})
+	}
+	return out
+}
+
 // Dropped returns jobs rejected by full pools or unknown devices.
 func (s *System) Dropped() int64 {
 	n := s.hv.Dropped()

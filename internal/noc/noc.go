@@ -388,14 +388,55 @@ func (m *Mesh) neighbor(ri int, port Port) int {
 // equals Pending() at every slot boundary and backs NextWork.
 func (m *Mesh) InFlight() int { return m.inflight }
 
-// NextWork implements the sim.Quiescer protocol: a mesh with in-flight
-// packets needs every slot (links serialize one flit-group per slot);
-// an empty mesh has no self-generated work, ever.
+// NextWork implements the sim.Quiescer protocol. An empty mesh has no
+// self-generated work, ever. A busy mesh next changes observable state
+// when a hop completes (the packet moves routers or delivers) or when
+// an idle link can pull a waiting packet — in between, links only
+// count down serialization slots, which SkipTo replays in bulk. The
+// returned slot is exact: the earliest hop completion is at
+// now + left - 1 because Step decrements before testing.
 func (m *Mesh) NextWork(now slot.Time) slot.Time {
-	if m.inflight > 0 {
-		return now
+	if m.inflight == 0 {
+		return slot.Never
 	}
-	return slot.Never
+	next := slot.Never
+	for _, r := range m.routers {
+		for p := Port(0); p < numPorts; p++ {
+			op := r.out[p]
+			if op.current == nil {
+				if op.waiting.len() > 0 {
+					return now // an idle link pulls a packet this slot
+				}
+				continue
+			}
+			if op.current.left <= 1 {
+				return now // hop completes during Step(now)
+			}
+			if at := now + op.current.left - 1; at < next {
+				next = at
+			}
+		}
+	}
+	return next
+}
+
+// SkipTo advances every in-transit link across a fast-forwarded span
+// [from, to): each current flight's remaining serialization shrinks by
+// the span, exactly as to-from calls to Step would have left it. The
+// engine only skips spans NextWork cleared, so no hop can complete (or
+// waiting packet be pulled) inside the span.
+func (m *Mesh) SkipTo(from, to slot.Time) {
+	if m.inflight == 0 {
+		return
+	}
+	span := to - from
+	for _, r := range m.routers {
+		for p := Port(0); p < numPorts; p++ {
+			if fl := r.out[p].current; fl != nil {
+				fl.left -= span
+			}
+		}
+	}
 }
 
 // Pending returns the number of packets currently inside the NoC

@@ -3,13 +3,13 @@ package noc
 import (
 	"testing"
 
+	"ioguard/internal/packet"
 	"ioguard/internal/slot"
 )
 
 // TestNextWorkTracksInFlight: the O(1) in-flight counter backing
 // NextWork must match the O(routers) Pending scan at every slot
-// boundary, and NextWork must pin the engine exactly while packets are
-// inside the mesh.
+// boundary, and a drained mesh must report Never.
 func TestNextWorkTracksInFlight(t *testing.T) {
 	m, err := New(DefaultConfig())
 	if err != nil {
@@ -28,19 +28,14 @@ func TestNextWorkTracksInFlight(t *testing.T) {
 	if m.InFlight() == 0 {
 		t.Fatal("InFlight = 0 after injection")
 	}
-	sawBusy := false
 	for now := slot.Time(0); now < 200 && m.InFlight() > 0; now++ {
-		if got := m.NextWork(now); got != now {
-			t.Fatalf("busy mesh NextWork(%d) = %d, want %d", now, got, now)
+		if got := m.NextWork(now); got < now {
+			t.Fatalf("busy mesh NextWork(%d) = %d in the past", now, got)
 		}
 		if m.InFlight() != m.Pending() {
 			t.Fatalf("slot %d: InFlight=%d but Pending=%d", now, m.InFlight(), m.Pending())
 		}
-		sawBusy = true
 		m.Step(now)
-	}
-	if !sawBusy {
-		t.Fatal("mesh never reported busy slots")
 	}
 	if m.InFlight() != 0 || m.Pending() != 0 {
 		t.Fatalf("after delivery InFlight=%d Pending=%d, want 0", m.InFlight(), m.Pending())
@@ -50,5 +45,100 @@ func TestNextWorkTracksInFlight(t *testing.T) {
 	}
 	if m.Stats().Delivered != 1 {
 		t.Errorf("Delivered = %d, want 1", m.Stats().Delivered)
+	}
+}
+
+// delivery records one OnDeliver invocation.
+type delivery struct {
+	task uint16
+	seq  uint32
+	at   slot.Time
+}
+
+// TestNextWorkSkipEquivalence: driving the mesh through the
+// NextWork/SkipTo protocol (stepping only pinned slots) must deliver
+// exactly the packets a dense per-slot run delivers, at the same
+// slots — and must actually skip transit gaps, which is the horizon
+// improvement the baselines' fast-forward rides on.
+func TestNextWorkSkipEquivalence(t *testing.T) {
+	inject := func(m *Mesh, now slot.Time) {
+		// A staggered burst crossing the mesh corner to corner plus a
+		// short hop, so links are busy at overlapping offsets.
+		switch now {
+		case 0:
+			m.Inject(now, mkPkt(m.NodeAt(Coord{0, 0}), m.NodeAt(Coord{4, 4}), 32))
+			m.Inject(now, mkPkt(m.NodeAt(Coord{0, 0}), m.NodeAt(Coord{4, 4}), 16))
+		case 5:
+			m.Inject(now, mkPkt(m.NodeAt(Coord{2, 1}), m.NodeAt(Coord{2, 4}), 64))
+		case 97:
+			m.Inject(now, mkPkt(m.NodeAt(Coord{4, 0}), m.NodeAt(Coord{0, 0}), 8))
+		}
+	}
+	injectSlots := []slot.Time{0, 5, 97}
+	const horizon = 600
+
+	run := func(skip bool) ([]delivery, int64) {
+		m, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []delivery
+		m.OnDeliver = func(p *packet.Packet, injected, now slot.Time) {
+			got = append(got, delivery{task: p.Task, seq: p.Seq, at: now})
+		}
+		var executed int64
+		ii := 0
+		for now := slot.Time(0); now < horizon; now++ {
+			inject(m, now)
+			m.Step(now)
+			executed++
+			if !skip {
+				continue
+			}
+			resume := now + 1
+			nw := m.NextWork(resume)
+			if nw <= resume {
+				continue
+			}
+			next := slot.Time(horizon)
+			// The next injection is an external input: the runner may
+			// not skip past it (mirrors the pending-queue bound the
+			// baselines apply).
+			for ii < len(injectSlots) && injectSlots[ii] < resume {
+				ii++
+			}
+			if ii < len(injectSlots) && injectSlots[ii] < next {
+				next = injectSlots[ii]
+			}
+			if nw < next {
+				next = nw
+			}
+			if next <= resume {
+				continue
+			}
+			m.SkipTo(resume, next)
+			now = next - 1
+		}
+		if m.InFlight() != 0 {
+			t.Fatalf("mesh not drained: %d in flight", m.InFlight())
+		}
+		return got, executed
+	}
+
+	dense, denseSteps := run(false)
+	skipped, skipSteps := run(true)
+	if len(dense) != 4 {
+		t.Fatalf("dense run delivered %d packets, want 4", len(dense))
+	}
+	if len(dense) != len(skipped) {
+		t.Fatalf("dense delivered %d, skip-driven %d", len(dense), len(skipped))
+	}
+	for i := range dense {
+		if dense[i] != skipped[i] {
+			t.Fatalf("delivery %d diverges: dense %+v, skip %+v", i, dense[i], skipped[i])
+		}
+	}
+	if skipSteps >= denseSteps {
+		t.Fatalf("skip-driven run executed %d slots, dense %d; transit gaps were not skipped", skipSteps, denseSteps)
 	}
 }

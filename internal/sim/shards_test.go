@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ioguard/internal/slot"
+)
+
+// probe is a test component with a fixed plan of internal work slots.
+// It fails the test if a planned slot is skipped over, and checks that
+// SkipTo spans never cover planned work.
+type probe struct {
+	t    *testing.T
+	name string
+	work []slot.Time // sorted slots with internal work
+	wi   int
+
+	stepped int64
+	skipped slot.Time
+	log     *[]exec // shared execution log, appended to on every Step
+	idx     int
+}
+
+type exec struct {
+	at    slot.Time
+	shard int
+}
+
+func (p *probe) Step(now slot.Time) {
+	p.stepped++
+	if p.log != nil {
+		*p.log = append(*p.log, exec{at: now, shard: p.idx})
+	}
+	for p.wi < len(p.work) && p.work[p.wi] <= now {
+		if p.work[p.wi] < now {
+			p.t.Errorf("%s: work at %d executed late at %d", p.name, p.work[p.wi], now)
+		}
+		p.wi++
+	}
+}
+
+func (p *probe) NextWork(now slot.Time) slot.Time {
+	if p.wi >= len(p.work) {
+		return slot.Never
+	}
+	if p.work[p.wi] < now {
+		return now
+	}
+	return p.work[p.wi]
+}
+
+func (p *probe) SkipTo(from, to slot.Time) {
+	p.skipped += to - from
+	if p.wi < len(p.work) && p.work[p.wi] < to {
+		p.t.Errorf("%s: SkipTo(%d,%d) jumps over work at %d", p.name, from, to, p.work[p.wi])
+	}
+}
+
+// TestShardSetDecoupling: one shard busy every slot must not force
+// dense stepping of an almost-idle peer — the exact failure mode of
+// the global-min fast-forward this scheduler replaces.
+func TestShardSetDecoupling(t *testing.T) {
+	const horizon = 10_000
+	busyPlan := make([]slot.Time, horizon)
+	for i := range busyPlan {
+		busyPlan[i] = slot.Time(i)
+	}
+	busy := &probe{t: t, name: "busy", work: busyPlan}
+	idle := &probe{t: t, name: "idle", work: []slot.Time{0, 4000, 9999}}
+
+	s := NewShardSet()
+	s.Add(busy)
+	s.Add(idle)
+	s.Run(horizon, nil, nil)
+
+	if busy.stepped != horizon {
+		t.Errorf("busy shard stepped %d slots, want %d", busy.stepped, horizon)
+	}
+	if busy.wi != len(busy.work) || idle.wi != len(idle.work) {
+		t.Errorf("unfinished work: busy %d/%d, idle %d/%d",
+			busy.wi, len(busy.work), idle.wi, len(idle.work))
+	}
+	if idle.stepped+int64(idle.skipped) != horizon {
+		t.Errorf("idle shard stepped %d + skipped %d ≠ horizon %d",
+			idle.stepped, idle.skipped, horizon)
+	}
+	if idle.stepped > 10 {
+		t.Errorf("idle shard stepped %d slots next to a busy peer; decoupling failed", idle.stepped)
+	}
+	st := s.Stats(1)
+	if st.Stepped != idle.stepped || st.Skipped != idle.skipped {
+		t.Errorf("Stats(1) = %+v, want {%d %d}", st, idle.stepped, idle.skipped)
+	}
+}
+
+// TestShardSetExecutionOrder: the executed (slot, shard) pairs must
+// come out in lexicographic order — the property that makes the
+// decoupled interleaving identical to a dense loop that steps shards
+// in registration order within each slot (and thus keeps collector
+// output byte-identical without any re-sorting).
+func TestShardSetExecutionOrder(t *testing.T) {
+	const horizon = 2000
+	rng := rand.New(rand.NewSource(99))
+	var log []exec
+	s := NewShardSet()
+	for i := 0; i < 5; i++ {
+		var plan []slot.Time
+		for at := slot.Time(rng.Intn(10)); at < horizon; at += slot.Time(1 + rng.Intn(97)) {
+			plan = append(plan, at)
+		}
+		p := &probe{t: t, name: "p", work: plan, log: &log, idx: i}
+		p.idx = s.Add(p)
+	}
+	s.Run(horizon, nil, nil)
+	if !sort.SliceIsSorted(log, func(a, b int) bool {
+		if log[a].at != log[b].at {
+			return log[a].at < log[b].at
+		}
+		return log[a].shard < log[b].shard
+	}) {
+		t.Fatal("execution log is not sorted by (slot, shard)")
+	}
+}
+
+// sink is a purely input-driven component: it has no internal work and
+// must be woken by the horizon exactly at each input's arrival slot.
+type sink struct {
+	t        *testing.T
+	inputs   []slot.Time // sorted arrival slots
+	ii       int         // next input not yet consumed (advanced by feed)
+	consumed int
+}
+
+func (k *sink) Step(now slot.Time) {}
+func (k *sink) NextWork(now slot.Time) slot.Time {
+	return slot.Never
+}
+
+// TestShardSetHorizon: a shard with no internal work still may not
+// run past an upstream input — the HorizonFunc must wake it at every
+// arrival slot, even a conservative horizon that sometimes wakes it
+// early.
+func TestShardSetHorizon(t *testing.T) {
+	const horizon = 50_000
+	rng := rand.New(rand.NewSource(7))
+	var ks []*sink
+	s := NewShardSet()
+	for i := 0; i < 3; i++ {
+		var in []slot.Time
+		for at := slot.Time(rng.Intn(500)); at < horizon; at += slot.Time(100 + rng.Intn(5000)) {
+			in = append(in, at)
+		}
+		k := &sink{t: t, inputs: in}
+		ks = append(ks, k)
+		s.Add(k)
+	}
+	conservative := rand.New(rand.NewSource(8))
+	feed := func(i int, now slot.Time) {
+		k := ks[i]
+		for k.ii < len(k.inputs) && k.inputs[k.ii] <= now {
+			if k.inputs[k.ii] < now {
+				t.Fatalf("shard %d: input at %d delivered late at %d", i, k.inputs[k.ii], now)
+			}
+			k.ii++
+			k.consumed++
+		}
+	}
+	hz := func(i int, limit slot.Time) slot.Time {
+		k := ks[i]
+		if k.ii >= len(k.inputs) {
+			return limit
+		}
+		next := k.inputs[k.ii]
+		if next > limit {
+			return limit
+		}
+		// Occasionally under-report to model a conservative bound: the
+		// shard wakes early, finds nothing, and re-queries.
+		if conservative.Intn(4) == 0 && next > 0 {
+			return next - slot.Time(conservative.Intn(int(next)+1))
+		}
+		return next
+	}
+	s.Run(horizon, feed, hz)
+	for i, k := range ks {
+		if k.consumed != len(k.inputs) {
+			t.Errorf("shard %d consumed %d/%d inputs", i, k.consumed, len(k.inputs))
+		}
+		st := s.Stats(i)
+		if st.Stepped+int64(st.Skipped) != horizon {
+			t.Errorf("shard %d: stepped %d + skipped %d ≠ %d", i, st.Stepped, st.Skipped, horizon)
+		}
+		if st.Stepped == horizon {
+			t.Errorf("shard %d never fast-forwarded", i)
+		}
+	}
+}

@@ -34,6 +34,18 @@
 // engine. Components that account per-slot statistics over idle spans
 // (e.g. table-idle counters) additionally implement Skipper; SkipTo
 // observes the skipped span [from, to) in bulk.
+//
+// # Per-component clocks
+//
+// The Engine's fast-forward takes one global min over every
+// component's NextWork, so a single busy component forces dense
+// stepping of all the others. ShardSet lifts that restriction for
+// groups of independent components: each shard owns a local virtual
+// clock and advances through its own busy/idle regions, with
+// cross-shard couplings expressed as explicit conservative horizons
+// (HorizonFunc) instead of implicit lockstep. Executing the laggard
+// shard first keeps the global execution order identical to dense
+// stepping, so the determinism contract above holds per component.
 package sim
 
 import (

@@ -1,0 +1,129 @@
+// Sharded execution: per-component virtual clocks for systems whose
+// components are independent except for the shared release engine.
+// Each shard (typically one device manager) advances through its own
+// busy/idle regions on a sim.ShardSet, so one busy device no longer
+// forces dense stepping of idle peers — the fast-forward win becomes
+// per-device instead of all-or-nothing.
+
+package system
+
+import (
+	"ioguard/internal/queue"
+	"ioguard/internal/sim"
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+	"ioguard/internal/vm"
+)
+
+// Shard is one independently-clocked component of a ShardedSystem. It
+// satisfies sim.Clocked; implementations that keep per-slot counters
+// over idle spans additionally implement sim.Skipper.
+type Shard interface {
+	// Devices returns the device names whose released jobs this shard
+	// consumes. Every residual device must be owned by exactly one
+	// shard; jobs for unowned devices fall back to System.Submit.
+	Devices() []string
+	// Submit delivers a job released at slot now. The runner calls it
+	// with now equal to both the job's release slot and the shard's
+	// local clock, immediately before Step(now) — exactly the order a
+	// dense run presents submissions in.
+	Submit(now slot.Time, j *task.Job)
+	// Step advances the shard one slot of its local clock.
+	Step(now slot.Time)
+	// NextWork is the sim.Quiescer contract against the local clock.
+	NextWork(now slot.Time) slot.Time
+}
+
+// ShardedSystem is a System whose components can advance on
+// decoupled per-component clocks. Shards() partitions the system;
+// the monolithic Step/Submit remain available for dense runs.
+type ShardedSystem interface {
+	System
+	Shards() []Shard
+}
+
+// drainChunk bounds how many release slots a single horizon query may
+// materialize while searching for the querying shard's next
+// submission. Hitting the bound returns the fleet cursor as a
+// conservative horizon instead — the shard advances there, re-queries,
+// and the search resumes — so a long-idle device never forces the
+// runner to buffer an unbounded prefix of a busy device's releases.
+const drainChunk = 1024
+
+// runSharded drives one trial on decoupled per-shard clocks. The
+// fleet is drained in global release order (keeping the jitter RNG
+// sequence identical to a dense run) into per-shard FIFO buffers;
+// each buffered job is submitted when its shard's clock reaches the
+// release slot. Because sim.ShardSet executes (slot, shard) pairs in
+// lexicographic order and shards are registered in the same order the
+// monolithic Step iterates them, completions reach the collector in
+// exactly the dense order — byte-identical results, enforced by the
+// equivalence tests.
+func runSharded(shards []Shard, fleet *vm.Fleet, horizon slot.Time, fallback func(j *task.Job)) {
+	set := sim.NewShardSet()
+	route := make(map[string]int, len(shards))
+	bufs := make([]*queue.FIFO[*task.Job], len(shards))
+	for i, sh := range shards {
+		set.Add(sh)
+		bufs[i] = queue.NewFIFO[*task.Job](0)
+		for _, d := range sh.Devices() {
+			route[d] = i
+		}
+	}
+	emit := func(j *task.Job) {
+		if i, ok := route[j.Task.Device]; ok {
+			bufs[i].Push(j)
+			return
+		}
+		// No shard owns the device; hand the job to the monolithic
+		// submission path (which counts the drop, like a dense run).
+		fallback(j)
+	}
+	feed := func(i int, now slot.Time) {
+		// Materialize every release up to the shard's clock. Releases
+		// strictly before a shard's clock cannot exist for the shard
+		// itself (its horizon stops it at its buffer head), so this
+		// only pulls in the current slot's batch plus other shards'
+		// backlog, bounded by their actual lag.
+		for {
+			nr := fleet.NextRelease()
+			if nr > now {
+				break
+			}
+			fleet.Release(nr, emit)
+		}
+		b := bufs[i]
+		for {
+			j, ok := b.Peek()
+			if !ok || j.Release > now {
+				break
+			}
+			b.Pop()
+			shards[i].Submit(now, j)
+		}
+	}
+	hz := func(i int, limit slot.Time) slot.Time {
+		if j, ok := bufs[i].Peek(); ok {
+			return j.Release
+		}
+		// Search forward for this shard's next release, materializing
+		// at most drainChunk release slots before falling back to the
+		// (conservative, always-safe) fleet cursor. Next-release times
+		// only move later, so once the cursor passes limit no release
+		// below limit can ever appear — the jump is sound permanently.
+		for budget := drainChunk; ; budget-- {
+			nr := fleet.NextRelease()
+			if nr >= limit {
+				return limit
+			}
+			if budget <= 0 {
+				return nr
+			}
+			fleet.Release(nr, emit)
+			if j, ok := bufs[i].Peek(); ok {
+				return j.Release
+			}
+		}
+	}
+	set.Run(horizon, feed, hz)
+}

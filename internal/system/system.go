@@ -162,12 +162,20 @@ func expectedCompletions(ts task.Set, horizon slot.Time) int {
 // system's residual tasks while the system steps, then the collector
 // scores the outcome.
 //
-// When the built system implements sim.Quiescer (and tr.Dense is
-// unset), the slot loop fast-forwards over regions where the system
-// declares no work and the fleet has no release due — idle spans cost
-// O(1) instead of O(slots). Fast-forward never skips a slot the
-// system declared busy, so dense and fast-forward runs are
-// byte-identical.
+// Fast-forward picks the strongest protocol the system offers (unless
+// tr.Dense forces the reference slot-by-slot loop):
+//
+//   - ShardedSystem: every shard owns a local virtual clock and
+//     advances independently through its own busy/idle regions
+//     (sim.ShardSet), so one busy device no longer throttles idle
+//     peers;
+//   - sim.Quiescer only: the legacy global fast-forward — the slot
+//     loop skips regions where the *whole* system declares no work
+//     and the fleet has no release due.
+//
+// Either way a skipped slot is one nothing observable happens in, so
+// dense, global fast-forward, and sharded runs are byte-identical —
+// an invariant enforced by the equivalence tests and the CI cmp.
 func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 	if tr.Horizon <= 0 {
 		return nil, fmt.Errorf("system: non-positive horizon %d", tr.Horizon)
@@ -184,6 +192,14 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 	fleet, err := vm.NewFleet(tr.VMs, sys.Residual(), rng)
 	if err != nil {
 		return nil, err
+	}
+	if ss, ok := sys.(ShardedSystem); ok && !tr.Dense {
+		if shards := ss.Shards(); len(shards) > 0 {
+			runSharded(shards, fleet, tr.Horizon, func(j *task.Job) { sys.Submit(j.Release, j) })
+			res := col.Result(sys, tr.Horizon)
+			res.Released = fleet.Released()
+			return res, nil
+		}
 	}
 	q, _ := sys.(sim.Quiescer)
 	sk, _ := sys.(sim.Skipper)

@@ -145,8 +145,8 @@ func TestFleet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fleet) != 3 {
-		t.Fatalf("fleet size = %d", len(fleet))
+	if len(fleet.Guests()) != 3 {
+		t.Fatalf("fleet size = %d", len(fleet.Guests()))
 	}
 	n := 0
 	for now := slot.Time(0); now < 100; now++ {
