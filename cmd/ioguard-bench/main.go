@@ -1,9 +1,16 @@
 // Command ioguard-bench runs the simulation benchmark suite
 // (internal/benchsuite — the same bodies `go test -bench` wraps) and
-// writes a machine-readable trajectory to BENCH_sim.json. The derived
+// writes a machine-readable report to BENCH_sim.json. The derived
 // dense/fast-forward speedups quantify the engine's idle-slot
 // fast-forward on the idle-heavy cells; allocs/op tracks the
 // zero-allocation hot paths.
+//
+// Two suites exist: the default one is sized for per-PR smoke runs,
+// while -suite nightly selects the paper-scale case study (1000 trials
+// per point, streaming metrics). With -append the report is appended
+// to a trajectory file (schema ioguard/bench_sim_trajectory/v1) whose
+// runs array accumulates one entry per invocation — the nightly CI job
+// uses this to track the sweep's performance PR over PR.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"ioguard/internal/benchsuite"
 )
@@ -27,8 +35,8 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	// SlotsPerOp is how many simulated slots one iteration advances
 	// (0 when not meaningful, e.g. queue micro-benchmarks).
-	SlotsPerOp   int64   `json:"slots_per_op,omitempty"`
-	SlotsPerSec  float64 `json:"slots_per_sec,omitempty"`
+	SlotsPerOp  int64   `json:"slots_per_op,omitempty"`
+	SlotsPerSec float64 `json:"slots_per_sec,omitempty"`
 }
 
 // Speedup compares the dense and fast-forward variants of one
@@ -42,9 +50,12 @@ type Speedup struct {
 	FFSlotsSec    float64 `json:"fastforward_slots_per_sec,omitempty"`
 }
 
-// Report is the BENCH_sim.json schema.
+// Report is one benchmark run (the ioguard/bench_sim/v1 schema, and
+// one element of a trajectory's runs array).
 type Report struct {
 	Schema    string    `json:"schema"`
+	Timestamp string    `json:"timestamp,omitempty"`
+	Suite     string    `json:"suite,omitempty"`
 	GoVersion string    `json:"go_version"`
 	GOOS      string    `json:"goos"`
 	GOARCH    string    `json:"goarch"`
@@ -53,6 +64,18 @@ type Report struct {
 	Results   []Result  `json:"results"`
 	Speedups  []Speedup `json:"speedups,omitempty"`
 }
+
+// Trajectory accumulates one Report per invocation (-append): the
+// perf-over-PRs record the nightly CI job maintains.
+type Trajectory struct {
+	Schema string   `json:"schema"`
+	Runs   []Report `json:"runs"`
+}
+
+const (
+	reportSchema     = "ioguard/bench_sim/v1"
+	trajectorySchema = "ioguard/bench_sim_trajectory/v1"
+)
 
 func measure(spec benchsuite.Spec) Result {
 	r := testing.Benchmark(spec.Bench)
@@ -108,28 +131,75 @@ func speedups(results []Result) []Speedup {
 	return out
 }
 
+// appendRun folds rep into the trajectory at path: an existing
+// trajectory file gains one run; an existing single-report file is
+// wrapped as the first run; a missing file starts a fresh trajectory.
+func appendRun(path string, rep Report) ([]byte, error) {
+	traj := Trajectory{Schema: trajectorySchema}
+	if data, err := os.ReadFile(path); err == nil {
+		var probe struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(data, &probe); err != nil {
+			return nil, fmt.Errorf("unreadable existing %s: %w", path, err)
+		}
+		switch probe.Schema {
+		case trajectorySchema:
+			if err := json.Unmarshal(data, &traj); err != nil {
+				return nil, fmt.Errorf("bad trajectory %s: %w", path, err)
+			}
+		case reportSchema:
+			var old Report
+			if err := json.Unmarshal(data, &old); err != nil {
+				return nil, fmt.Errorf("bad report %s: %w", path, err)
+			}
+			traj.Runs = append(traj.Runs, old)
+		default:
+			return nil, fmt.Errorf("existing %s has unknown schema %q", path, probe.Schema)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	traj.Runs = append(traj.Runs, rep)
+	return json.MarshalIndent(traj, "", "  ")
+}
+
 func main() {
 	testing.Init()
 	var (
 		out       = flag.String("o", "BENCH_sim.json", "output path (\"-\" for stdout)")
 		benchtime = flag.String("benchtime", "1s", "per-benchmark measuring time (forwarded to test.benchtime; e.g. 2s, 100x)")
 		match     = flag.String("bench", "", "only run benchmarks whose name contains this substring")
+		suite     = flag.String("suite", "default", "benchmark suite: default (per-PR smoke scale) or nightly (paper-scale 1000-trial case study)")
+		appendRep = flag.Bool("append", false, "append this run to the output file's trajectory (ioguard/bench_sim_trajectory/v1) instead of overwriting it")
 	)
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fmt.Fprintf(os.Stderr, "ioguard-bench: bad -benchtime %q: %v\n", *benchtime, err)
 		os.Exit(1)
 	}
+	var specs []benchsuite.Spec
+	switch *suite {
+	case "default":
+		specs = benchsuite.Specs()
+	case "nightly":
+		specs = benchsuite.NightlySpecs()
+	default:
+		fmt.Fprintf(os.Stderr, "ioguard-bench: unknown suite %q (want default|nightly)\n", *suite)
+		os.Exit(1)
+	}
 
 	rep := Report{
-		Schema:    "ioguard/bench_sim/v1",
+		Schema:    reportSchema,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Suite:     *suite,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		BenchTime: *benchtime,
 	}
-	for _, spec := range benchsuite.Specs() {
+	for _, spec := range specs {
 		if *match != "" && !strings.Contains(spec.Name, *match) {
 			continue
 		}
@@ -141,7 +211,13 @@ func main() {
 	}
 	rep.Speedups = speedups(rep.Results)
 
-	data, err := json.MarshalIndent(rep, "", "  ")
+	var data []byte
+	var err error
+	if *appendRep && *out != "-" {
+		data, err = appendRun(*out, rep)
+	} else {
+		data, err = json.MarshalIndent(rep, "", "  ")
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ioguard-bench: %v\n", err)
 		os.Exit(1)

@@ -22,6 +22,7 @@ import (
 
 	"ioguard/internal/experiments"
 	"ioguard/internal/footprint"
+	"ioguard/internal/system"
 )
 
 func main() {
@@ -34,30 +35,36 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines running trial cells (output is identical for any value)")
 		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (disables the decoupled per-device clocks; output is identical either way)")
+		metrics = flag.String("metrics", "exact", "collector mode per trial: exact (buffered) or stream (bounded memory; rendered tables are byte-identical either way)")
 	)
 	flag.Parse()
-	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, *workers, *dense); err != nil {
+	mode, err := system.ParseMetricsMode(*metrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
+		os.Exit(1)
+	}
+	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, *workers, *dense, mode); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, trials, hps, maxEta int, util float64, seed int64, workers int, dense bool) error {
+func run(exp string, trials, hps, maxEta int, util float64, seed int64, workers int, dense bool, mode system.MetricsMode) error {
 	switch exp {
 	case "fig6":
 		return fig6()
 	case "table1":
 		return table1()
 	case "fig7a":
-		return fig7(4, trials, hps, seed, workers, dense)
+		return fig7(4, trials, hps, seed, workers, dense, mode)
 	case "fig7b":
-		return fig7(8, trials, hps, seed, workers, dense)
+		return fig7(8, trials, hps, seed, workers, dense, mode)
 	case "fig7c":
 		// Fig. 7(c) shares the sweep; print both VM groups' throughput.
-		if err := fig7(4, trials, hps, seed, workers, dense); err != nil {
+		if err := fig7(4, trials, hps, seed, workers, dense, mode); err != nil {
 			return err
 		}
-		return fig7(8, trials, hps, seed, workers, dense)
+		return fig7(8, trials, hps, seed, workers, dense, mode)
 	case "fig8":
 		return fig8(maxEta)
 	case "ablation":
@@ -73,10 +80,10 @@ func run(exp string, trials, hps, maxEta int, util float64, seed int64, workers 
 		if err := table1(); err != nil {
 			return err
 		}
-		if err := fig7(4, trials, hps, seed, workers, dense); err != nil {
+		if err := fig7(4, trials, hps, seed, workers, dense, mode); err != nil {
 			return err
 		}
-		if err := fig7(8, trials, hps, seed, workers, dense); err != nil {
+		if err := fig7(8, trials, hps, seed, workers, dense, mode); err != nil {
 			return err
 		}
 		return fig8(maxEta)
@@ -106,7 +113,7 @@ func table1() error {
 	return nil
 }
 
-func fig7(vms, trials, hps int, seed int64, workers int, dense bool) error {
+func fig7(vms, trials, hps int, seed int64, workers int, dense bool, mode system.MetricsMode) error {
 	points, err := experiments.CaseStudy(experiments.CaseStudyConfig{
 		VMs:          vms,
 		Trials:       trials,
@@ -114,6 +121,7 @@ func fig7(vms, trials, hps int, seed int64, workers int, dense bool) error {
 		Seed:         seed,
 		Workers:      workers,
 		Dense:        dense,
+		Metrics:      mode,
 	})
 	if err != nil {
 		return err

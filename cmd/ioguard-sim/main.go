@@ -9,11 +9,20 @@
 //	ioguard-sim -system rtxen -vms 4 -util 0.6
 //	ioguard-sim -system ioguard-40 -gantt 200
 //	ioguard-sim -system ioguard-70 -trials 50 -workers 4
+//	ioguard-sim -system ioguard-70 -hyperperiods 64 -metrics stream
 //
 // With -trials N > 1 the command repeats the trial across independent
 // seeds on a deterministic worker pool and prints the aggregate
 // (success ratio, throughput distribution) instead of single-trial
 // metrics; -workers only changes wall-clock time, never the output.
+//
+// -metrics selects the collector implementation: exact (default)
+// buffers every completion and reports exact percentiles; stream keeps
+// collector memory independent of the horizon (Welford moments plus a
+// Greenwald–Khanna quantile sketch), which is what makes very long
+// -hyperperiods runs tractable. Counters, throughput and min/max are
+// identical in both modes. In stream mode -csv writes rows online
+// through a trace.CSVSink instead of buffering the event log.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"ioguard/internal/hypervisor"
 	"ioguard/internal/slot"
 	"ioguard/internal/system"
+	"ioguard/internal/task"
 	"ioguard/internal/trace"
 	"ioguard/internal/workload"
 )
@@ -45,15 +55,21 @@ func main() {
 		csvPath = flag.String("csv", "", "write the execution trace as CSV (I/O-GUARD only, single trial)")
 		byTask  = flag.Bool("bytask", false, "print per-task completion/miss statistics (single trial)")
 		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (disables the decoupled per-device clocks; output is identical either way)")
+		metrics = flag.String("metrics", "exact", "collector mode: exact (buffered, exact percentiles) or stream (bounded memory, ε-approximate percentiles)")
 	)
 	flag.Parse()
-	if err := run(*sysName, *vms, *util, *hps, *seed, *trials, *workers, *gantt, *csvPath, *byTask, *dense); err != nil {
+	mode, err := system.ParseMetricsMode(*metrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
+		os.Exit(1)
+	}
+	if err := run(*sysName, *vms, *util, *hps, *seed, *trials, *workers, *gantt, *csvPath, *byTask, *dense, mode); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sysName string, vms int, util float64, hps int, seed int64, trials, workers, gantt int, csvPath string, byTask, dense bool) error {
+func run(sysName string, vms int, util float64, hps int, seed int64, trials, workers, gantt int, csvPath string, byTask, dense bool, mode system.MetricsMode) error {
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
 		return err
@@ -62,17 +78,48 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 		len(ts), formatUtil(workload.DeviceUtilization(ts)), ts.Hyperperiod())
 
 	if trials > 1 {
-		return runSweep(sysName, vms, util, hps, seed, trials, workers, dense)
+		return runSweep(sysName, vms, util, hps, seed, trials, workers, dense, mode)
 	}
 
+	// Trace plumbing. The buffered Recorder backs -gantt (it renders
+	// from the event log); -csv goes through the streaming CSVSink in
+	// stream mode (rows written as events happen, bounded memory) and
+	// through the Recorder's buffered export in exact mode. Completion
+	// events reach either via Collector.Observe — online, not an
+	// after-the-run Each replay.
 	rec := &trace.Recorder{}
-	build, err := builderFor(sysName, rec, gantt > 0 || csvPath != "")
+	var sink *trace.CSVSink
+	var csvFile *os.File
+	if csvPath != "" && mode == system.MetricsStream {
+		csvFile, err = os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer csvFile.Close()
+		if sink, err = trace.NewCSVSink(csvFile); err != nil {
+			return err
+		}
+	}
+	wantTrace := gantt > 0 || csvPath != ""
+	onExec := rec.OnExecute
+	if sink != nil {
+		onExec = sink.OnExecute
+	}
+	build, err := builderFor(sysName, onExec, wantTrace)
 	if err != nil {
 		return err
 	}
 	var captured *system.Collector
 	wrapped := func(tr system.Trial, col *system.Collector) (system.System, error) {
 		captured = col
+		if byTask {
+			col.TrackByTask()
+		}
+		if sink != nil {
+			col.Observe(sink.OnComplete)
+		} else if csvPath != "" {
+			col.Observe(rec.OnComplete)
+		}
 		return build(tr, col)
 	}
 	res, err := system.Run(wrapped, system.Trial{
@@ -81,6 +128,7 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 		Horizon: ts.Hyperperiod() * slot.Time(hps),
 		Seed:    seed,
 		Dense:   dense,
+		Metrics: mode,
 	})
 	if err != nil {
 		return err
@@ -106,28 +154,34 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 		fmt.Print(system.RenderByTask(captured.ByTask()))
 	}
 	if csvPath != "" {
-		f, err := os.Create(csvPath)
-		if err != nil {
-			return err
+		if sink != nil {
+			if err := sink.Flush(); err != nil {
+				return err
+			}
+			fmt.Printf("streamed trace events to %s\n", csvPath)
+		} else {
+			f, err := os.Create(csvPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := rec.WriteCSV(f); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d trace events to %s\n", rec.Len(), csvPath)
 		}
-		defer f.Close()
-		if err := rec.WriteCSV(f); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), csvPath)
 	}
 	return nil
 }
 
 // runSweep repeats the trial across independent release seeds on the
 // deterministic worker pool and prints the aggregate.
-func runSweep(sysName string, vms int, util float64, hps int, seed int64, trials, workers int, dense bool) error {
+func runSweep(sysName string, vms int, util float64, hps int, seed int64, trials, workers int, dense bool, mode system.MetricsMode) error {
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
 		return err
 	}
-	rec := &trace.Recorder{}
-	build, err := builderFor(sysName, rec, false)
+	build, err := builderFor(sysName, nil, false)
 	if err != nil {
 		return err
 	}
@@ -137,6 +191,7 @@ func runSweep(sysName string, vms int, util float64, hps int, seed int64, trials
 		Horizon: ts.Hyperperiod() * slot.Time(hps),
 		Seed:    seed,
 		Dense:   dense,
+		Metrics: mode,
 	}, trials, workers)
 	if err != nil {
 		return err
@@ -159,7 +214,7 @@ func formatUtil(m map[string]float64) string {
 	return strings.Join(parts, " ")
 }
 
-func builderFor(name string, rec *trace.Recorder, wantTrace bool) (system.Builder, error) {
+func builderFor(name string, onExec func(slot.Time, *task.Job), wantTrace bool) (system.Builder, error) {
 	switch {
 	case name == "legacy":
 		return func(tr system.Trial, col *system.Collector) (system.System, error) {
@@ -188,13 +243,13 @@ func builderFor(name string, rec *trace.Recorder, wantTrace bool) (system.Builde
 			if err != nil {
 				return nil, err
 			}
-			if wantTrace {
+			if wantTrace && onExec != nil {
 				for _, dev := range s.Hypervisor().Devices() {
 					mgr, err := s.Hypervisor().Manager(dev)
 					if err != nil {
 						return nil, err
 					}
-					mgr.OnExecute = rec.OnExecute
+					mgr.OnExecute = onExec
 				}
 			}
 			return s, nil

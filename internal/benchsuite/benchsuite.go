@@ -23,6 +23,7 @@ import (
 	"ioguard/internal/sim"
 	"ioguard/internal/slot"
 	"ioguard/internal/system"
+	"ioguard/internal/task"
 	"ioguard/internal/workload"
 )
 
@@ -50,9 +51,9 @@ type idleStepper struct {
 	skipped slot.Time
 }
 
-func (s *idleStepper) Step(slot.Time)              { s.stepped++ }
+func (s *idleStepper) Step(slot.Time)               { s.stepped++ }
 func (s *idleStepper) NextWork(slot.Time) slot.Time { return slot.Never }
-func (s *idleStepper) SkipTo(from, to slot.Time)   { s.skipped += to - from }
+func (s *idleStepper) SkipTo(from, to slot.Time)    { s.skipped += to - from }
 
 func engineIdle(b *testing.B, dense bool) {
 	b.ReportAllocs()
@@ -116,7 +117,10 @@ func sparseWorkload() (t system.Trial, err error) {
 	if err != nil {
 		return system.Trial{}, err
 	}
-	ts = workload.Stretch(ts, sparseStretch)
+	ts, err = workload.Stretch(ts, sparseStretch)
+	if err != nil {
+		return system.Trial{}, err
+	}
 	return system.Trial{
 		VMs:     8,
 		Tasks:   ts,
@@ -241,6 +245,39 @@ func runSkewed(b *testing.B, variant string) {
 	}
 }
 
+// collectorComplete measures the collector's per-completion hot path
+// at steady state: one warmed job folded in repeatedly, mirroring how
+// every system's response path drives Complete each slot. The stream
+// variant must run allocation-free (bounded recorders, no completion
+// log — the same guarantee the PQ-freelist and FIFO benchmarks pin
+// for their hot paths); exact mode amortizes its log's append.
+func collectorComplete(b *testing.B, mode system.MetricsMode) {
+	col := system.NewCollectorFor(mode, 1<<16)
+	tk := &task.Sporadic{ID: 0, Kind: task.Safety, Period: 10, WCET: 1, Deadline: 10, OpBytes: 64}
+	j := task.NewJob(tk, 0, 0)
+	var x uint64 = 7
+	warm := 100_000
+	if mode == system.MetricsExact {
+		// Exact mode buffers every completion; warming 100k iterations
+		// would just grow the log. Warm enough to settle the recorders.
+		warm = 1 << 10
+	}
+	for i := 0; i < warm; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		j.Release = slot.Time(x % 1024)
+		j.Deadline = j.Release + 10
+		col.Complete(j, j.Release+slot.Time(x%32))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		j.Release = slot.Time(x % 1024)
+		j.Deadline = j.Release + 10
+		col.Complete(j, j.Release+slot.Time(x%32))
+	}
+}
+
 // pqChurn measures the steady-state cost of the R-channel pool's
 // priority queue: push/pop cycles at a fixed resident depth. With the
 // node freelist this must run allocation-free.
@@ -284,6 +321,10 @@ func Specs() []Spec {
 		{Name: "RunSkewed/fastforward", SlotsPerOp: skewedSlotsPerOp(),
 			Bench: func(b *testing.B) { runSkewed(b, "fastforward") }},
 		{Name: "PQChurn", SlotsPerOp: 0, Bench: pqChurn},
+		{Name: "CollectorComplete/exact", SlotsPerOp: 0,
+			Bench: func(b *testing.B) { collectorComplete(b, system.MetricsExact) }},
+		{Name: "CollectorComplete/stream", SlotsPerOp: 0,
+			Bench: func(b *testing.B) { collectorComplete(b, system.MetricsStream) }},
 	}
 }
 

@@ -1,0 +1,52 @@
+// Nightly benchmark profile: the paper-scale case study (1000 trials
+// per utilization point, streaming metrics) that is far too heavy for
+// the per-PR CI smoke run. cmd/ioguard-bench -suite nightly runs these
+// specs and appends the report to BENCH_sim.json's trajectory, so the
+// sweep's wall-clock and allocation behavior is tracked PR over PR.
+// Kept out of Specs() on purpose: the default suite must stay fast
+// enough for `-benchtime 1x` smoke runs on every push.
+package benchsuite
+
+import (
+	"testing"
+
+	"ioguard/internal/experiments"
+	"ioguard/internal/system"
+)
+
+// nightlyTrials is the paper's repetition count per configuration
+// (Sec. V: "each configuration was repeated 1000 times").
+const nightlyTrials = 1000
+
+// nightlyCaseStudy runs one full Fig. 7 sweep for a VM group in
+// streaming metrics mode — per-trial collector memory stays bounded
+// across the 13-point × 1000-trial grid.
+func nightlyCaseStudy(b *testing.B, vms int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.CaseStudy(experiments.CaseStudyConfig{
+			VMs:          vms,
+			Trials:       nightlyTrials,
+			HyperPeriods: 6,
+			Seed:         1,
+			Metrics:      system.MetricsStream,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) == 0 {
+			b.Fatal("case study produced no points")
+		}
+	}
+}
+
+// NightlySpecs returns the nightly-only benchmarks. They are not part
+// of Specs(); select them with cmd/ioguard-bench -suite nightly.
+func NightlySpecs() []Spec {
+	return []Spec{
+		{Name: "CaseStudy1000/4vm/stream", SlotsPerOp: 0,
+			Bench: func(b *testing.B) { nightlyCaseStudy(b, 4) }},
+		{Name: "CaseStudy1000/8vm/stream", SlotsPerOp: 0,
+			Bench: func(b *testing.B) { nightlyCaseStudy(b, 8) }},
+	}
+}

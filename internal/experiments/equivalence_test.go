@@ -105,7 +105,10 @@ func TestDenseFastForwardEquivalenceSparse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts = workload.Stretch(ts, 8)
+	ts, err = workload.Stretch(ts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tr := system.Trial{VMs: 4, Tasks: ts, Horizon: ts.Hyperperiod(), Seed: 11}
 	for _, name := range []string{"I/O-GUARD-70", "BS|RT-XEN"} {
 		build := Builders()[name]

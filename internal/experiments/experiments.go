@@ -90,6 +90,13 @@ type CaseStudyConfig struct {
 	// (the reference semantics). Output is byte-identical either way;
 	// the flag exists for the equivalence cmp in CI and for debugging.
 	Dense bool
+	// Metrics selects each trial's collector mode. The rendered Fig. 7
+	// tables use only exactly-counted quantities (success ratio from
+	// CriticalMisses, throughput from BytesServed), so exact and
+	// streaming sweeps render byte-identical output — the streaming
+	// mode just bounds per-trial collector memory (enforced by the CI
+	// cmp job).
+	Metrics system.MetricsMode
 }
 
 // trialSeed derives the per-(utilization, trial) seed. The
@@ -170,6 +177,7 @@ func CaseStudy(cfg CaseStudyConfig) ([]CaseStudyPoint, error) {
 					Horizon: horizon,
 					Seed:    seed,
 					Dense:   cfg.Dense,
+					Metrics: cfg.Metrics,
 				}})
 			}
 		}
@@ -349,6 +357,10 @@ func RenderFig8(points []Fig8Point) string {
 // returns the response-time histogram of each — the distributional
 // view behind Obs. 3's "less experimental variance" claim: I/O-GUARD's
 // mass sits in tight bands while the FIFO baselines grow heavy tails.
+// The histogram is attached to the collector as an online sink
+// (Collector.ObserveResponse), so it fills while the trial runs and
+// works identically in both metrics modes — no post-hoc replay of a
+// buffered sample.
 func ResponseProfile(vms int, util float64, seed int64) (map[string]*metrics.Histogram, error) {
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
@@ -356,17 +368,19 @@ func ResponseProfile(vms int, util float64, seed int64) (map[string]*metrics.His
 	}
 	out := map[string]*metrics.Histogram{}
 	for name, build := range Builders() {
-		res, err := system.Run(build, system.Trial{
-			VMs: vms, Tasks: ts, Horizon: ts.Hyperperiod() * 4, Seed: seed,
-		})
-		if err != nil {
-			return nil, err
-		}
 		h, err := metrics.NewHistogram(0, 4000, 16)
 		if err != nil {
 			return nil, err
 		}
-		h.AddSample(&res.Response)
+		profiled := func(tr system.Trial, col *system.Collector) (system.System, error) {
+			col.ObserveResponse(h)
+			return build(tr, col)
+		}
+		if _, err := system.Run(profiled, system.Trial{
+			VMs: vms, Tasks: ts, Horizon: ts.Hyperperiod() * 4, Seed: seed,
+		}); err != nil {
+			return nil, err
+		}
 		out[name] = h
 	}
 	return out, nil

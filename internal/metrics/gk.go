@@ -1,0 +1,145 @@
+// Greenwald–Khanna ε-approximate quantile sketch (SIGMOD'01): the
+// bounded-memory percentile backend of the Streaming recorder. The
+// sketch keeps a sorted list of tuples (v, g, Δ) where g is the gap in
+// minimum rank to the previous tuple and Δ bounds the rank
+// uncertainty; maintaining g+Δ ≤ ⌊2εn⌋ for every interior tuple
+// guarantees any quantile query is answered within εn ranks while
+// storing only O((1/ε)·log(εn)) tuples — independent of the horizon,
+// which is what lets a trial's collector forget completions as they
+// stream past.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultSketchEpsilon is the rank-error bound used by the streaming
+// recorders: a quantile query on n observations returns a value whose
+// rank is within ⌈εn⌉ of the exact nearest rank. At 0.005 the p99 of
+// one million observations is off by at most 5000 ranks (0.5 %),
+// while the sketch stays at a few hundred tuples.
+const DefaultSketchEpsilon = 0.005
+
+// gkTuple summarizes a run of observations: v was observed, its
+// minimum rank is the sum of g over the prefix, and its maximum rank
+// exceeds the minimum by delta.
+type gkTuple struct {
+	v     float64
+	g     int64
+	delta int64
+}
+
+// GKSketch is a Greenwald–Khanna quantile summary. The zero value is
+// not usable; construct with NewGKSketch.
+type GKSketch struct {
+	eps    float64
+	n      int64
+	tuples []gkTuple
+	// pending counts inserts since the last compression; compressing
+	// every ⌊1/(2ε)⌋ inserts amortizes the merge scan.
+	pending int
+}
+
+// NewGKSketch returns an empty sketch with rank-error bound eps
+// (clamped to (0, 0.5]).
+func NewGKSketch(eps float64) *GKSketch {
+	if !(eps > 0) || eps > 0.5 {
+		eps = DefaultSketchEpsilon
+	}
+	return &GKSketch{eps: eps}
+}
+
+// Epsilon returns the sketch's rank-error bound.
+func (s *GKSketch) Epsilon() float64 { return s.eps }
+
+// N returns the number of observations absorbed.
+func (s *GKSketch) N() int64 { return s.n }
+
+// Tuples returns the current summary size (for memory accounting).
+func (s *GKSketch) Tuples() int { return len(s.tuples) }
+
+// Add absorbs one observation.
+func (s *GKSketch) Add(v float64) {
+	i := sort.Search(len(s.tuples), func(k int) bool { return s.tuples[k].v >= v })
+	var delta int64
+	if i > 0 && i < len(s.tuples) {
+		// Interior insert: the new tuple inherits the full rank
+		// uncertainty ⌊2εn⌋−1; boundary inserts (new min/max) are
+		// exact by construction.
+		delta = int64(2 * s.eps * float64(s.n))
+		if delta > 0 {
+			delta--
+		}
+	}
+	s.tuples = append(s.tuples, gkTuple{})
+	copy(s.tuples[i+1:], s.tuples[i:])
+	s.tuples[i] = gkTuple{v: v, g: 1, delta: delta}
+	s.n++
+	s.pending++
+	if s.pending >= int(1/(2*s.eps)) {
+		s.compress()
+		s.pending = 0
+	}
+}
+
+// compress merges adjacent tuples whose combined rank band still fits
+// under ⌊2εn⌋, keeping the first and last tuples (exact min/max)
+// untouched. The merge is in place: the slice is compacted without
+// reallocating, so steady-state inserts stay allocation-free.
+func (s *GKSketch) compress() {
+	if len(s.tuples) < 3 {
+		return
+	}
+	limit := int64(2 * s.eps * float64(s.n))
+	out := s.tuples[:1]
+	for i := 1; i < len(s.tuples)-1; i++ {
+		t := s.tuples[i]
+		next := s.tuples[i+1]
+		if t.g+next.g+next.delta <= limit {
+			// Fold t into its successor; its gap travels along.
+			s.tuples[i+1].g += t.g
+			continue
+		}
+		out = append(out, t)
+	}
+	out = append(out, s.tuples[len(s.tuples)-1])
+	s.tuples = out
+}
+
+// Quantile returns a value whose rank among the observations is
+// within ⌈εn⌉ of the nearest-rank target ⌈q·n⌉ (q in [0,1]). An empty
+// sketch returns 0, matching Sample's convention.
+func (s *GKSketch) Quantile(q float64) float64 {
+	if s.n == 0 || len(s.tuples) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.tuples[0].v
+	}
+	if q >= 1 {
+		return s.tuples[len(s.tuples)-1].v
+	}
+	target := int64(math.Ceil(q * float64(s.n)))
+	if target < 1 {
+		target = 1
+	}
+	tol := int64(s.eps * float64(s.n))
+	var rmin int64
+	for i := 0; i < len(s.tuples)-1; i++ {
+		rmin += s.tuples[i].g
+		next := s.tuples[i+1]
+		// Stop at the last tuple whose successor's rank band would
+		// overshoot the target: its own band then brackets it.
+		if rmin+next.g+next.delta > target+tol {
+			return s.tuples[i].v
+		}
+	}
+	return s.tuples[len(s.tuples)-1].v
+}
+
+// String summarizes the sketch state.
+func (s *GKSketch) String() string {
+	return fmt.Sprintf("gk(ε=%g n=%d tuples=%d)", s.eps, s.n, len(s.tuples))
+}

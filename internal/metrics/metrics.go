@@ -129,12 +129,15 @@ type TrialResult struct {
 	Dropped        int64 // jobs rejected by full queues
 	BytesServed    int64
 	Horizon        slot.Time
-	Response       Sample // observed response times (all completed jobs)
+	// Response holds the observed response times of all completed
+	// jobs: an exact *Sample in the default metrics mode, a
+	// bounded-memory *Streaming recorder in streaming mode.
+	Response Recorder
 	// Tardiness is max(observed completion − deadline, 0) per
 	// completed job: the predictability metric (0 everywhere means
 	// every deadline held; its tail quantifies how badly a system
 	// degrades).
-	Tardiness Sample
+	Tardiness Recorder
 }
 
 // Success reports whether the trial succeeded in the paper's sense:

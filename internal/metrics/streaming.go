@@ -1,0 +1,110 @@
+// Streaming: the bounded-memory Recorder. Moments come from
+// Welford's online algorithm (numerically stable running mean and sum
+// of squared deviations), extrema are tracked exactly, and
+// percentiles come from a Greenwald–Khanna sketch — so a recorder's
+// memory is independent of how many observations flow through it,
+// which is what makes paper-scale 1000-trial × 100 s sweeps tractable
+// without buffering every completion.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Streaming accumulates scalar observations in bounded memory: exact
+// n/mean/variance/min/max, ε-approximate percentiles. Construct with
+// NewStreaming; the zero value is not usable (the sketch needs its ε).
+type Streaming struct {
+	n      int64
+	mean   float64
+	m2     float64 // sum of squared deviations from the running mean
+	min    float64
+	max    float64
+	sketch *GKSketch
+}
+
+// NewStreaming returns an empty streaming recorder whose percentile
+// queries are accurate to eps ranks per observation (≤ 0 selects
+// DefaultSketchEpsilon).
+func NewStreaming(eps float64) *Streaming {
+	return &Streaming{sketch: NewGKSketch(eps)}
+}
+
+// Epsilon returns the percentile sketch's rank-error bound.
+func (s *Streaming) Epsilon() float64 { return s.sketch.Epsilon() }
+
+// SketchTuples returns the quantile sketch's current summary size
+// (for memory accounting in tests and benchmarks).
+func (s *Streaming) SketchTuples() int { return s.sketch.Tuples() }
+
+// Add absorbs one observation.
+func (s *Streaming) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+	s.sketch.Add(v)
+}
+
+// N returns the number of observations.
+func (s *Streaming) N() int { return int(s.n) }
+
+// Mean returns the arithmetic mean, or 0 for an empty recorder.
+func (s *Streaming) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Variance returns the population variance, or 0 for fewer than two
+// observations (matching Sample).
+func (s *Streaming) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Streaming) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 when empty.
+func (s *Streaming) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (s *Streaming) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) from the
+// sketch: a value whose rank is within ⌈εn⌉ of the exact nearest
+// rank. Empty recorders return 0, matching Sample.
+func (s *Streaming) Percentile(p float64) float64 {
+	return s.sketch.Quantile(p / 100)
+}
+
+// String summarizes the recorder in Sample's format.
+func (s *Streaming) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f min=%.0f p99=%.0f max=%.0f",
+		s.N(), s.Mean(), s.StdDev(), s.Min(), s.Percentile(99), s.Max())
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"ioguard/internal/metrics"
+	"ioguard/internal/slot"
 	"ioguard/internal/task"
 )
 
@@ -17,25 +18,38 @@ type TaskStat struct {
 	Task      *task.Sporadic
 	Completed int64
 	Misses    int64
-	Response  metrics.Sample
+	// Response records the task's response times: an exact *Sample in
+	// the default metrics mode, a bounded-memory *Streaming recorder
+	// in streaming mode.
+	Response metrics.Recorder
 }
 
-// ByTask folds the collector's completions into per-task statistics,
-// keyed by task ID.
+// observe folds one completion into the stat.
+func (st *TaskStat) observe(j *task.Job, at slot.Time) {
+	st.Completed++
+	st.Response.Add(float64(at - j.Release))
+	if at > j.Deadline {
+		st.Misses++
+	}
+}
+
+// ByTask returns per-task statistics keyed by task ID. When the
+// collector tracks tasks online (TrackByTask — required in streaming
+// mode, where there is no completion log), the incrementally built map
+// is returned; otherwise the exact mode's completion log is replayed.
 func (c *Collector) ByTask() map[int]*TaskStat {
+	if c.trackByTask {
+		return c.perTask
+	}
 	out := map[int]*TaskStat{}
 	for _, d := range c.done {
 		j := d.job
 		st, ok := out[j.Task.ID]
 		if !ok {
-			st = &TaskStat{Task: j.Task}
+			st = &TaskStat{Task: j.Task, Response: &metrics.Sample{}}
 			out[j.Task.ID] = st
 		}
-		st.Completed++
-		st.Response.AddTime(d.at - j.Release)
-		if d.at > j.Deadline {
-			st.Misses++
-		}
+		st.observe(j, d.at)
 	}
 	return out
 }

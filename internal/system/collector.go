@@ -1,0 +1,272 @@
+// The Collector: the measurement side of a trial. Systems call
+// Complete from their response paths; the collector folds every
+// observation into its recorders *as it arrives* (deadline
+// classification, byte accounting, response/tardiness distributions,
+// optional per-task stats and completion observers), so Result is a
+// cheap snapshot plus the pending-job censoring sweep. Two metrics
+// modes choose the recorder implementation:
+//
+//   - MetricsExact (default, the zero value): buffered metrics.Sample
+//     recorders plus the full completion log, so percentiles are
+//     exact, Each/ByTask can replay, and rendered output is
+//     byte-identical to the pre-streaming collector. Memory grows
+//     O(completions) with the horizon.
+//   - MetricsStream: bounded-memory metrics.Streaming recorders
+//     (Welford moments, exact min/max, Greenwald–Khanna percentile
+//     sketch) and no completion log — collector memory is independent
+//     of the horizon. Counts, misses, bytes and throughput stay
+//     exact; only percentile queries carry the sketch's documented
+//     ε rank error.
+package system
+
+import (
+	"fmt"
+
+	"ioguard/internal/metrics"
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+// MetricsMode selects the collector's recorder implementation.
+type MetricsMode uint8
+
+// Metrics modes. The zero value is the exact buffered collector.
+const (
+	MetricsExact MetricsMode = iota
+	MetricsStream
+)
+
+// String returns the CLI spelling of the mode.
+func (m MetricsMode) String() string {
+	switch m {
+	case MetricsExact:
+		return "exact"
+	case MetricsStream:
+		return "stream"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// ParseMetricsMode parses the -metrics CLI flag.
+func ParseMetricsMode(s string) (MetricsMode, error) {
+	switch s {
+	case "exact", "":
+		return MetricsExact, nil
+	case "stream", "streaming":
+		return MetricsStream, nil
+	default:
+		return MetricsExact, fmt.Errorf("system: unknown metrics mode %q (want exact|stream)", s)
+	}
+}
+
+// completion pairs a finished job with its observed completion slot.
+type completion struct {
+	job *task.Job
+	at  slot.Time
+}
+
+// Collector records observed completions. The zero value is a usable
+// exact-mode collector; NewCollector pre-sizes the exact mode's
+// completion log so a trial's hot path never regrows it, and
+// NewStreamCollector selects the bounded-memory mode.
+type Collector struct {
+	mode MetricsMode
+	// done is the exact mode's completion log, retained for Each and
+	// the ByTask replay; streaming mode keeps no per-completion state.
+	done []completion
+
+	// Incremental state, updated by Complete in both modes.
+	completed      int64
+	bytesServed    int64
+	criticalMisses int64
+	otherMisses    int64
+	response       metrics.Recorder
+	tardiness      metrics.Recorder
+
+	// perTask accumulates per-task statistics online when enabled via
+	// TrackByTask (the streaming replacement for the ByTask replay).
+	perTask     map[int]*TaskStat
+	trackByTask bool
+
+	// observers receive every completion as it is recorded — the tee
+	// that drives trace sinks online instead of replaying Each
+	// afterwards.
+	observers []func(j *task.Job, at slot.Time)
+}
+
+// maxCollectorPresize caps the pre-allocation of NewCollector: a
+// degenerate horizon/period combination must not reserve unbounded
+// memory up front (the slice still grows on demand past the cap).
+const maxCollectorPresize = 1 << 16
+
+// NewCollector returns an exact-mode collector with room for about n
+// completions.
+func NewCollector(n int) *Collector { return NewCollectorFor(MetricsExact, n) }
+
+// NewStreamCollector returns a bounded-memory streaming collector.
+func NewStreamCollector() *Collector { return NewCollectorFor(MetricsStream, 0) }
+
+// NewCollectorFor returns a collector in the given mode; n sizes the
+// exact mode's completion log and is ignored in streaming mode.
+func NewCollectorFor(mode MetricsMode, n int) *Collector {
+	c := &Collector{mode: mode}
+	if mode == MetricsExact {
+		if n < 0 {
+			n = 0
+		}
+		if n > maxCollectorPresize {
+			n = maxCollectorPresize
+		}
+		c.done = make([]completion, 0, n)
+	}
+	c.ensure()
+	return c
+}
+
+// Mode returns the collector's metrics mode.
+func (c *Collector) Mode() MetricsMode { return c.mode }
+
+// newRecorder builds one scalar recorder for the collector's mode.
+func (c *Collector) newRecorder() metrics.Recorder {
+	if c.mode == MetricsStream {
+		return metrics.NewStreaming(metrics.DefaultSketchEpsilon)
+	}
+	return &metrics.Sample{}
+}
+
+// ensure lazily initializes the recorders so the zero-value Collector
+// stays usable.
+func (c *Collector) ensure() {
+	if c.response == nil {
+		c.response = c.newRecorder()
+		c.tardiness = c.newRecorder()
+	}
+}
+
+// Observe registers fn to receive every subsequent completion as it
+// is recorded — an online sink (e.g. trace.Recorder.OnComplete or
+// trace.CSVSink.OnComplete) that replaces post-hoc Each replays.
+func (c *Collector) Observe(fn func(j *task.Job, at slot.Time)) {
+	c.observers = append(c.observers, fn)
+}
+
+// ObserveResponse tees every subsequent response-time observation
+// into o (e.g. a metrics.Histogram), building distribution views
+// online.
+func (c *Collector) ObserveResponse(o metrics.Observer) {
+	c.ensure()
+	c.response = teeInto(c.response, o)
+}
+
+// ObserveTardiness tees every subsequent tardiness observation into o.
+func (c *Collector) ObserveTardiness(o metrics.Observer) {
+	c.ensure()
+	c.tardiness = teeInto(c.tardiness, o)
+}
+
+// teeInto attaches o as a sink of r, reusing an existing Tee.
+func teeInto(r metrics.Recorder, o metrics.Observer) metrics.Recorder {
+	if t, ok := r.(*metrics.Tee); ok {
+		t.Sinks = append(t.Sinks, o)
+		return t
+	}
+	return metrics.NewTee(r, o)
+}
+
+// TrackByTask switches ByTask to online accumulation: per-task stats
+// are updated on every completion, which is the only way to get them
+// in streaming mode (there is no buffer to replay).
+func (c *Collector) TrackByTask() {
+	if c.perTask == nil {
+		c.perTask = map[int]*TaskStat{}
+	}
+	c.trackByTask = true
+}
+
+// critical reports whether a task's deadline misses fail the trial
+// (safety and function tasks; synthetic load does not count).
+func critical(t *task.Sporadic) bool {
+	return t.Kind == task.Safety || t.Kind == task.Function
+}
+
+// Complete records that j's requester observed completion at slot at,
+// folding the observation into every recorder immediately: deadline
+// classification, bytes, response and tardiness distributions,
+// tracked per-task stats, and any registered observers.
+func (c *Collector) Complete(j *task.Job, at slot.Time) {
+	c.ensure()
+	if c.mode == MetricsExact {
+		c.done = append(c.done, completion{job: j, at: at})
+	}
+	c.completed++
+	c.bytesServed += int64(j.Task.OpBytes)
+	c.response.Add(float64(at - j.Release))
+	tard := at - j.Deadline
+	if tard < 0 {
+		tard = 0
+	}
+	c.tardiness.Add(float64(tard))
+	missed := at > j.Deadline
+	if missed {
+		if critical(j.Task) {
+			c.criticalMisses++
+		} else {
+			c.otherMisses++
+		}
+	}
+	if c.trackByTask {
+		st, ok := c.perTask[j.Task.ID]
+		if !ok {
+			st = &TaskStat{Task: j.Task, Response: c.newRecorder()}
+			c.perTask[j.Task.ID] = st
+		}
+		st.observe(j, at)
+	}
+	for _, fn := range c.observers {
+		fn(j, at)
+	}
+}
+
+// Completed returns the number of recorded completions.
+func (c *Collector) Completed() int { return int(c.completed) }
+
+// Each visits the recorded completions in order. Only the exact mode
+// retains them; in streaming mode Each visits nothing — attach an
+// Observe sink before the run instead.
+func (c *Collector) Each(visit func(j *task.Job, at slot.Time)) {
+	for _, d := range c.done {
+		visit(d.job, d.at)
+	}
+}
+
+// Result scores a finished trial: a snapshot of the incrementally
+// maintained state (completed jobs were classified against their
+// deadlines at the *observed* completion time), plus the censoring
+// sweep — jobs still pending whose deadline has passed count as
+// misses; pending jobs whose deadline lies at or beyond the horizon
+// are censored.
+func (c *Collector) Result(sys System, horizon slot.Time) *metrics.TrialResult {
+	c.ensure()
+	res := &metrics.TrialResult{
+		Horizon:        horizon,
+		Dropped:        sys.Dropped(),
+		Completed:      c.completed,
+		BytesServed:    c.bytesServed,
+		CriticalMisses: c.criticalMisses,
+		OtherMisses:    c.otherMisses,
+		Response:       c.response,
+		Tardiness:      c.tardiness,
+	}
+	sys.Pending(func(j *task.Job) {
+		res.Unfinished++
+		if j.Deadline < horizon {
+			if critical(j.Task) {
+				res.CriticalMisses++
+			} else {
+				res.OtherMisses++
+			}
+		}
+	})
+	return res
+}

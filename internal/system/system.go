@@ -37,95 +37,6 @@ type System interface {
 	Dropped() int64
 }
 
-// completion pairs a finished job with its observed completion slot.
-type completion struct {
-	job *task.Job
-	at  slot.Time
-}
-
-// Collector records observed completions. Systems call Complete from
-// their response paths; the collector keeps the observation time
-// (which includes response latency) separate from the job's raw
-// Finish slot. The zero value is usable; NewCollector pre-sizes the
-// backing array so a trial's hot path never regrows it.
-type Collector struct {
-	done []completion
-}
-
-// maxCollectorPresize caps the pre-allocation of NewCollector: a
-// degenerate horizon/period combination must not reserve unbounded
-// memory up front (the slice still grows on demand past the cap).
-const maxCollectorPresize = 1 << 16
-
-// NewCollector returns a collector with room for about n completions.
-func NewCollector(n int) *Collector {
-	if n < 0 {
-		n = 0
-	}
-	if n > maxCollectorPresize {
-		n = maxCollectorPresize
-	}
-	return &Collector{done: make([]completion, 0, n)}
-}
-
-// Complete records that j's requester observed completion at slot at.
-func (c *Collector) Complete(j *task.Job, at slot.Time) {
-	c.done = append(c.done, completion{job: j, at: at})
-}
-
-// Completed returns the number of recorded completions.
-func (c *Collector) Completed() int { return len(c.done) }
-
-// Each visits the recorded completions in order.
-func (c *Collector) Each(visit func(j *task.Job, at slot.Time)) {
-	for _, d := range c.done {
-		visit(d.job, d.at)
-	}
-}
-
-// critical reports whether a task's deadline misses fail the trial
-// (safety and function tasks; synthetic load does not count).
-func critical(t *task.Sporadic) bool {
-	return t.Kind == task.Safety || t.Kind == task.Function
-}
-
-// Result scores a finished trial: completed jobs are checked against
-// their deadlines at the *observed* completion time; jobs still
-// pending whose deadline has passed count as misses; pending jobs
-// whose deadline lies beyond the horizon are censored.
-func (c *Collector) Result(sys System, horizon slot.Time) *metrics.TrialResult {
-	res := &metrics.TrialResult{Horizon: horizon, Dropped: sys.Dropped()}
-	for _, d := range c.done {
-		j := d.job
-		res.Completed++
-		res.BytesServed += int64(j.Task.OpBytes)
-		res.Response.AddTime(d.at - j.Release)
-		tard := d.at - j.Deadline
-		if tard < 0 {
-			tard = 0
-		}
-		res.Tardiness.AddTime(tard)
-		if d.at > j.Deadline {
-			if critical(j.Task) {
-				res.CriticalMisses++
-			} else {
-				res.OtherMisses++
-			}
-		}
-	}
-	sys.Pending(func(j *task.Job) {
-		res.Unfinished++
-		if j.Deadline < horizon {
-			if critical(j.Task) {
-				res.CriticalMisses++
-			} else {
-				res.OtherMisses++
-			}
-		}
-	})
-	return res
-}
-
 // Trial parameterizes one execution.
 type Trial struct {
 	VMs     int
@@ -138,6 +49,12 @@ type Trial struct {
 	// byte-identical results — an invariant enforced by the equivalence
 	// tests and the CI cmp job.
 	Dense bool
+	// Metrics selects the collector's recorder implementation: the
+	// zero value (MetricsExact) buffers every completion and renders
+	// byte-identical to the historical collector; MetricsStream keeps
+	// collector memory independent of the horizon at the cost of
+	// ε-approximate percentiles.
+	Metrics MetricsMode
 }
 
 // Builder constructs a system wired to a collector. It receives the
@@ -183,7 +100,7 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 	if err := tr.Tasks.Validate(); err != nil {
 		return nil, err
 	}
-	col := NewCollector(expectedCompletions(tr.Tasks, tr.Horizon))
+	col := NewCollectorFor(tr.Metrics, expectedCompletions(tr.Tasks, tr.Horizon))
 	sys, err := build(tr, col)
 	if err != nil {
 		return nil, err

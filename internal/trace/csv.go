@@ -1,37 +1,42 @@
 // CSV export of execution traces, for offline analysis of schedules
-// in spreadsheet/plotting tools.
+// in spreadsheet/plotting tools. The row format is shared with the
+// streaming CSVSink so a buffered export and an online one are
+// byte-identical for the same events.
 package trace
 
 import (
-	"encoding/csv"
-	"fmt"
 	"io"
 	"strconv"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
 )
 
+// csvHeader is the column layout shared by WriteCSV and CSVSink.
+var csvHeader = []string{"slot", "event", "task", "vm", "job", "deadline"}
+
+// csvRecord formats one event into row, which must have
+// len(csvHeader) cells; reusing the caller's row keeps the per-event
+// path allocation-light.
+func csvRecord(row []string, at slot.Time, kind EventKind, j *task.Job) {
+	row[0] = strconv.FormatInt(int64(at), 10)
+	row[1] = kind.String()
+	row[2] = j.Task.Name
+	row[3] = strconv.Itoa(j.Task.VM)
+	row[4] = strconv.Itoa(j.Seq)
+	row[5] = strconv.FormatInt(int64(j.Deadline), 10)
+}
+
 // WriteCSV streams the recorded events as CSV with the header
-// slot,event,task,vm,job,deadline.
+// slot,event,task,vm,job,deadline — the buffered equivalent of
+// feeding every event through a CSVSink.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"slot", "event", "task", "vm", "job", "deadline"}); err != nil {
+	sink, err := NewCSVSink(w)
+	if err != nil {
 		return err
 	}
 	for _, e := range r.events {
-		rec := []string{
-			strconv.FormatInt(int64(e.At), 10),
-			e.Kind.String(),
-			e.Job.Task.Name,
-			strconv.Itoa(e.Job.Task.VM),
-			strconv.Itoa(e.Job.Seq),
-			strconv.FormatInt(int64(e.Job.Deadline), 10),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
+		sink.event(e.At, e.Kind, e.Job)
 	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
-		return fmt.Errorf("trace: flushing csv: %w", err)
-	}
-	return nil
+	return sink.Flush()
 }

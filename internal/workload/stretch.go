@@ -1,21 +1,28 @@
 // Stretching the case-study workload: the automotive task table fixes
-// the base utilization at 0.40 per device, so sparser (idle-heavy)
+// the base utilization at ≈0.40 per device, so sparser (idle-heavy)
 // scenarios are derived by scaling periods rather than by lowering the
-// generator's target.
+// generator's target — Generate rejects targets below the floor.
 package workload
 
 import (
+	"fmt"
+	"math"
+
 	"ioguard/internal/slot"
 	"ioguard/internal/task"
 )
 
 // Stretch returns a copy of ts with every period, deadline and jitter
 // bound multiplied by k, dividing each task's utilization by k while
-// preserving the constrained-deadline model. k ≤ 1 returns ts
-// unchanged.
-func Stretch(ts task.Set, k slot.Time) task.Set {
-	if k <= 1 {
-		return ts
+// preserving the constrained-deadline model. k == 1 returns ts
+// unchanged; k < 1 is an error (compressing periods would break the
+// WCET ≤ deadline invariant).
+func Stretch(ts task.Set, k slot.Time) (task.Set, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("workload: stretch factor %d < 1", k)
+	}
+	if k == 1 {
+		return ts, nil
 	}
 	out := make(task.Set, len(ts))
 	for i, t := range ts {
@@ -24,5 +31,26 @@ func Stretch(ts task.Set, k slot.Time) task.Set {
 		t.Jitter *= k
 		out[i] = t
 	}
-	return out
+	return out, nil
+}
+
+// StretchToUtil stretches ts until no device exceeds targetUtil: the
+// factor is the smallest integer k with maxDeviceUtil/k ≤ targetUtil.
+// This is the supported way to derive sub-floor utilizations (e.g.
+// idle-heavy benchmark cells) from the case-study catalogue, whose
+// base load Generate refuses to undercut.
+func StretchToUtil(ts task.Set, targetUtil float64) (task.Set, error) {
+	if targetUtil <= 0 {
+		return nil, fmt.Errorf("workload: non-positive target utilization %.3f", targetUtil)
+	}
+	var maxUtil float64
+	for _, u := range DeviceUtilization(ts) {
+		if u > maxUtil {
+			maxUtil = u
+		}
+	}
+	if maxUtil <= targetUtil {
+		return ts, nil
+	}
+	return Stretch(ts, slot.Time(math.Ceil(maxUtil/targetUtil)))
 }

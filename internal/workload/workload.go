@@ -183,6 +183,16 @@ func Generate(cfg Config) (task.Set, error) {
 	sort.Strings(devices)
 	for _, dev := range devices {
 		gap := cfg.TargetUtil - baseUtil[dev]
+		// The safety+function catalogue fixes a ≈0.40 floor per device:
+		// a target below it cannot be met by generating fewer synthetic
+		// tasks (there are none to remove). Refuse instead of silently
+		// producing the floor workload; sparser sets are derived by
+		// period-stretching the catalogue.
+		if gap < -0.001 {
+			return nil, fmt.Errorf(
+				"workload: target utilization %.2f is below the catalogue's base %.2f on %s; use Stretch/StretchToUtil to derive sparser sets",
+				cfg.TargetUtil, baseUtil[dev], dev)
+		}
 		if gap <= 0.001 {
 			continue
 		}

@@ -95,6 +95,65 @@ func TestGenerateValidation(t *testing.T) {
 	if _, err := Generate(Config{VMs: 4, TargetUtil: 1.5}); err == nil {
 		t.Error("utilization > 1 accepted")
 	}
+	// The catalogue fixes a ≈0.40 per-device floor: targets below it
+	// must fail loudly (sub-floor sets come from Stretch/StretchToUtil),
+	// not silently produce the floor workload.
+	if _, err := Generate(Config{VMs: 4, TargetUtil: 0.3}); err == nil {
+		t.Error("sub-floor target utilization accepted")
+	}
+	if _, err := Generate(Config{VMs: 4, TargetUtil: 0}); err == nil {
+		t.Error("zero target utilization accepted")
+	}
+	if _, err := Generate(Config{VMs: 4, TargetUtil: 0.4, Seed: 1}); err != nil {
+		t.Errorf("the floor itself must stay generable: %v", err)
+	}
+}
+
+func TestStretchValidation(t *testing.T) {
+	ts, err := Generate(Config{VMs: 4, TargetUtil: 0.4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stretch(ts, 0); err == nil {
+		t.Error("stretch factor 0 accepted")
+	}
+	same, err := Stretch(ts, 1)
+	if err != nil || len(same) != len(ts) || same[0].Period != ts[0].Period {
+		t.Errorf("k=1 must return the set unchanged: %v", err)
+	}
+	half, err := Stretch(ts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dev, u := range DeviceUtilization(half) {
+		if want := DeviceUtilization(ts)[dev] / 2; math.Abs(u-want) > 1e-9 {
+			t.Errorf("%s: stretched utilization %.4f, want %.4f", dev, u, want)
+		}
+	}
+}
+
+func TestStretchToUtil(t *testing.T) {
+	ts, err := Generate(Config{VMs: 8, TargetUtil: 0.4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := StretchToUtil(ts, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dev, u := range DeviceUtilization(sparse) {
+		if u > 0.05+1e-9 {
+			t.Errorf("%s: utilization %.4f exceeds the 0.05 target", dev, u)
+		}
+	}
+	// A target at or above the current load is a no-op.
+	same, err := StretchToUtil(ts, 0.9)
+	if err != nil || same[0].Period != ts[0].Period {
+		t.Errorf("above-load target must not stretch: %v", err)
+	}
+	if _, err := StretchToUtil(ts, 0); err == nil {
+		t.Error("non-positive target accepted")
+	}
 }
 
 func TestGenerateHitsTargetUtilization(t *testing.T) {

@@ -109,6 +109,24 @@ type System = system.System
 // Collector records observed completions during a run.
 type Collector = system.Collector
 
+// MetricsMode selects the collector's recorder implementation:
+// MetricsExact (the zero value) buffers every completion and answers
+// exact percentiles; MetricsStream keeps collector memory independent
+// of the horizon using online moments and an ε-approximate quantile
+// sketch.
+type MetricsMode = system.MetricsMode
+
+// Metrics modes.
+const (
+	MetricsExact  = system.MetricsExact
+	MetricsStream = system.MetricsStream
+)
+
+// Recorder is the streaming observer interface behind trial metrics:
+// both the exact Sample and the bounded-memory Streaming recorder
+// implement it.
+type Recorder = metrics.Recorder
+
 // NewSystem builds a complete I/O-GUARD system (hypervisor per device,
 // P-channel tables, R-channel pools) for the workload, reporting
 // completions to col (which may be nil).
