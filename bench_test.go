@@ -314,12 +314,27 @@ func BenchmarkRunSparse(b *testing.B) { benchSuite(b, "RunSparse") }
 
 // BenchmarkRunSkewed measures the one-busy-device skew cell (bursty
 // telemetry on four near-idle devices plus a 60%-utilized CAN
-// controller) under all three execution protocols: dense stepping,
-// the legacy single-clock fast-forward (globalmin), and the decoupled
-// per-device clocks (fastforward). The fastforward/globalmin ratio is
+// controller) under all four execution protocols: dense stepping,
+// the legacy single-clock fast-forward (globalmin), the decoupled
+// per-device clocks (fastforward), and the decoupled clocks fanned
+// across OS threads (parshard). The fastforward/globalmin ratio is
 // the decoupling's own win — a busy device no longer throttles idle
-// peers.
+// peers — and parshard/fastforward is the epoch-barrier executor's
+// wall-clock speedup on top (only visible on multi-core hosts).
 func BenchmarkRunSkewed(b *testing.B) { benchSuite(b, "RunSkewed") }
+
+// BenchmarkCaseStudyShardPar measures a trimmed case-study sweep with
+// intra-trial shard parallelism as the only concurrency (trial-level
+// pool pinned to one worker).
+func BenchmarkCaseStudyShardPar(b *testing.B) {
+	for _, s := range benchsuite.Specs() {
+		if s.Name == "CaseStudyShardPar" {
+			s.Bench(b)
+			return
+		}
+	}
+	b.Fatal("spec CaseStudyShardPar not found")
+}
 
 // BenchmarkHypervisorStep measures the simulator's slot-processing
 // rate for the full I/O-GUARD system (useful when sizing longer

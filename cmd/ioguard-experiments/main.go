@@ -36,6 +36,7 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines running trial cells (output is identical for any value)")
 		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (disables the decoupled per-device clocks; output is identical either way)")
 		metrics = flag.String("metrics", "exact", "collector mode per trial: exact (buffered) or stream (bounded memory; rendered tables are byte-identical either way)")
+		shardWk = flag.Int("shard-workers", 0, "OS threads advancing one trial's device shards in parallel (< 2 = sequential; output is identical for any value)")
 	)
 	flag.Parse()
 	mode, err := system.ParseMetricsMode(*metrics)
@@ -43,28 +44,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, *workers, *dense, mode); err != nil {
+	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, *workers, *dense, mode, *shardWk); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, trials, hps, maxEta int, util float64, seed int64, workers int, dense bool, mode system.MetricsMode) error {
+func run(exp string, trials, hps, maxEta int, util float64, seed int64, workers int, dense bool, mode system.MetricsMode, shardWorkers int) error {
 	switch exp {
 	case "fig6":
 		return fig6()
 	case "table1":
 		return table1()
 	case "fig7a":
-		return fig7(4, trials, hps, seed, workers, dense, mode)
+		return fig7(4, trials, hps, seed, workers, dense, mode, shardWorkers)
 	case "fig7b":
-		return fig7(8, trials, hps, seed, workers, dense, mode)
+		return fig7(8, trials, hps, seed, workers, dense, mode, shardWorkers)
 	case "fig7c":
 		// Fig. 7(c) shares the sweep; print both VM groups' throughput.
-		if err := fig7(4, trials, hps, seed, workers, dense, mode); err != nil {
+		if err := fig7(4, trials, hps, seed, workers, dense, mode, shardWorkers); err != nil {
 			return err
 		}
-		return fig7(8, trials, hps, seed, workers, dense, mode)
+		return fig7(8, trials, hps, seed, workers, dense, mode, shardWorkers)
 	case "fig8":
 		return fig8(maxEta)
 	case "ablation":
@@ -80,10 +81,10 @@ func run(exp string, trials, hps, maxEta int, util float64, seed int64, workers 
 		if err := table1(); err != nil {
 			return err
 		}
-		if err := fig7(4, trials, hps, seed, workers, dense, mode); err != nil {
+		if err := fig7(4, trials, hps, seed, workers, dense, mode, shardWorkers); err != nil {
 			return err
 		}
-		if err := fig7(8, trials, hps, seed, workers, dense, mode); err != nil {
+		if err := fig7(8, trials, hps, seed, workers, dense, mode, shardWorkers); err != nil {
 			return err
 		}
 		return fig8(maxEta)
@@ -113,7 +114,7 @@ func table1() error {
 	return nil
 }
 
-func fig7(vms, trials, hps int, seed int64, workers int, dense bool, mode system.MetricsMode) error {
+func fig7(vms, trials, hps int, seed int64, workers int, dense bool, mode system.MetricsMode, shardWorkers int) error {
 	points, err := experiments.CaseStudy(experiments.CaseStudyConfig{
 		VMs:          vms,
 		Trials:       trials,
@@ -122,6 +123,7 @@ func fig7(vms, trials, hps int, seed int64, workers int, dense bool, mode system
 		Workers:      workers,
 		Dense:        dense,
 		Metrics:      mode,
+		ShardWorkers: shardWorkers,
 	})
 	if err != nil {
 		return err

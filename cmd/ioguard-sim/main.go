@@ -56,6 +56,7 @@ func main() {
 		byTask  = flag.Bool("bytask", false, "print per-task completion/miss statistics (single trial)")
 		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (disables the decoupled per-device clocks; output is identical either way)")
 		metrics = flag.String("metrics", "exact", "collector mode: exact (buffered, exact percentiles) or stream (bounded memory, ε-approximate percentiles)")
+		shardWk = flag.Int("shard-workers", 0, "OS threads advancing one trial's device shards in parallel (< 2 = sequential; output is identical for any value)")
 	)
 	flag.Parse()
 	mode, err := system.ParseMetricsMode(*metrics)
@@ -63,13 +64,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
 		os.Exit(1)
 	}
-	if err := run(*sysName, *vms, *util, *hps, *seed, *trials, *workers, *gantt, *csvPath, *byTask, *dense, mode); err != nil {
+	if err := run(*sysName, *vms, *util, *hps, *seed, *trials, *workers, *gantt, *csvPath, *byTask, *dense, mode, *shardWk); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sysName string, vms int, util float64, hps int, seed int64, trials, workers, gantt int, csvPath string, byTask, dense bool, mode system.MetricsMode) error {
+func run(sysName string, vms int, util float64, hps int, seed int64, trials, workers, gantt int, csvPath string, byTask, dense bool, mode system.MetricsMode, shardWorkers int) error {
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
 		return err
@@ -78,7 +79,7 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 		len(ts), formatUtil(workload.DeviceUtilization(ts)), ts.Hyperperiod())
 
 	if trials > 1 {
-		return runSweep(sysName, vms, util, hps, seed, trials, workers, dense, mode)
+		return runSweep(sysName, vms, util, hps, seed, trials, workers, dense, mode, shardWorkers)
 	}
 
 	// Trace plumbing. The buffered Recorder backs -gantt (it renders
@@ -123,12 +124,13 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 		return build(tr, col)
 	}
 	res, err := system.Run(wrapped, system.Trial{
-		VMs:     vms,
-		Tasks:   ts,
-		Horizon: ts.Hyperperiod() * slot.Time(hps),
-		Seed:    seed,
-		Dense:   dense,
-		Metrics: mode,
+		VMs:          vms,
+		Tasks:        ts,
+		Horizon:      ts.Hyperperiod() * slot.Time(hps),
+		Seed:         seed,
+		Dense:        dense,
+		Metrics:      mode,
+		ShardWorkers: shardWorkers,
 	})
 	if err != nil {
 		return err
@@ -176,7 +178,7 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 
 // runSweep repeats the trial across independent release seeds on the
 // deterministic worker pool and prints the aggregate.
-func runSweep(sysName string, vms int, util float64, hps int, seed int64, trials, workers int, dense bool, mode system.MetricsMode) error {
+func runSweep(sysName string, vms int, util float64, hps int, seed int64, trials, workers int, dense bool, mode system.MetricsMode, shardWorkers int) error {
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
 		return err
@@ -186,12 +188,13 @@ func runSweep(sysName string, vms int, util float64, hps int, seed int64, trials
 		return err
 	}
 	agg, err := system.ParallelSweep(build, system.Trial{
-		VMs:     vms,
-		Tasks:   ts,
-		Horizon: ts.Hyperperiod() * slot.Time(hps),
-		Seed:    seed,
-		Dense:   dense,
-		Metrics: mode,
+		VMs:          vms,
+		Tasks:        ts,
+		Horizon:      ts.Hyperperiod() * slot.Time(hps),
+		Seed:         seed,
+		Dense:        dense,
+		Metrics:      mode,
+		ShardWorkers: shardWorkers,
 	}, trials, workers)
 	if err != nil {
 		return err

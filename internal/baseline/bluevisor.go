@@ -28,6 +28,13 @@ type bvShard struct {
 	dev     string
 	st      *station
 	pending *queue.PQ[*task.Job] // keyed by pool-arrival slot
+	// dropped counts this shard's full-queue rejections. Kept per
+	// shard (summed by BlueVisor.Dropped) so concurrent shards under
+	// the parallel executor never write a shared counter.
+	dropped int64
+	// sink, when the parallel runner installs one, receives this
+	// shard's completions instead of the owner's collector.
+	sink func(j *task.Job, at slot.Time)
 }
 
 // Devices returns the single device this shard owns.
@@ -48,10 +55,28 @@ func (s *bvShard) Step(now slot.Time) {
 		}
 		s.pending.PopMin()
 		if err := s.st.enqueue(j); err != nil {
-			s.owner.dropped++
+			s.dropped++
 		}
 	}
 	s.st.step(now)
+}
+
+// complete delivers one finished job — response-path cost added — to
+// the redirected sink when one is installed, else to the collector.
+func (s *bvShard) complete(j *task.Job, finished slot.Time) {
+	at := finished + s.owner.path.Response
+	if s.sink != nil {
+		s.sink(j, at)
+		return
+	}
+	if s.owner.col != nil {
+		s.owner.col.Complete(j, at)
+	}
+}
+
+// SetCompletionSink implements system.ParallelShard.
+func (s *bvShard) SetCompletionSink(sink func(j *task.Job, at slot.Time)) {
+	s.sink = sink
 }
 
 // NextWork implements the sim.Quiescer protocol on the shard's local
@@ -108,15 +133,12 @@ func NewBlueVisor(vms int, ts task.Set, col *system.Collector) (*BlueVisor, erro
 	// than a software driver but still occupy it per operation.
 	const bvSetupSlots = 2
 	for _, dev := range devicesOf(ts) {
-		st, err := newStation(dev, perVMRoundRobin, vms, bvSetupSlots, func(j *task.Job, finished slot.Time) {
-			if b.col != nil {
-				b.col.Complete(j, finished+b.path.Response)
-			}
-		})
+		sh := &bvShard{owner: b, dev: dev, pending: queue.NewPQ[*task.Job](0)}
+		st, err := newStation(dev, perVMRoundRobin, vms, bvSetupSlots, sh.complete)
 		if err != nil {
 			return nil, err
 		}
-		sh := &bvShard{owner: b, dev: dev, st: st, pending: queue.NewPQ[*task.Job](0)}
+		sh.st = st
 		b.shards = append(b.shards, sh)
 		b.byDev[dev] = sh
 	}
@@ -186,4 +208,10 @@ func (b *BlueVisor) Pending(visit func(j *task.Job)) {
 }
 
 // Dropped returns jobs lost at unknown devices or full queues.
-func (b *BlueVisor) Dropped() int64 { return b.dropped }
+func (b *BlueVisor) Dropped() int64 {
+	n := b.dropped
+	for _, sh := range b.shards {
+		n += sh.dropped
+	}
+	return n
+}

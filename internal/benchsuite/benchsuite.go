@@ -15,9 +15,11 @@ package benchsuite
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"ioguard/internal/core"
+	"ioguard/internal/experiments"
 	"ioguard/internal/hypervisor"
 	"ioguard/internal/queue"
 	"ioguard/internal/sim"
@@ -216,12 +218,26 @@ func (g *globalMinSystem) SkipTo(from, to slot.Time) {
 	}
 }
 
+// parShardWorkers sizes the intra-trial shard fan-out for the
+// /parshard variants: every core the host offers, floored at 2 so the
+// epoch-barrier executor (rather than the sequential fallback) is
+// exercised even on single-core runners.
+func parShardWorkers() int {
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		return p
+	}
+	return 2
+}
+
 func runSkewed(b *testing.B, variant string) {
 	tr, err := skewedWorkload()
 	if err != nil {
 		b.Fatal(err)
 	}
 	tr.Dense = variant == "dense"
+	if variant == "parshard" {
+		tr.ShardWorkers = parShardWorkers()
+	}
 	build := func(tr system.Trial, col *system.Collector) (system.System, error) {
 		sys, err := core.New(core.Config{
 			VMs:  tr.VMs,
@@ -241,6 +257,33 @@ func runSkewed(b *testing.B, variant string) {
 		}
 		if res.Completed == 0 {
 			b.Fatal("trial completed no jobs")
+		}
+	}
+}
+
+// caseStudyShardPar runs a trimmed Fig. 7 sweep with each trial's
+// device shards fanned across OS threads (and the trial-level pool
+// pinned to one worker, so intra-trial parallelism is the only
+// concurrency being measured). It sizes the end-to-end win of the
+// epoch-barrier executor on the realistic multi-device workload, next
+// to RunSkewed/parshard's single-cell measurement.
+func caseStudyShardPar(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.CaseStudy(experiments.CaseStudyConfig{
+			VMs:          4,
+			Utils:        []float64{0.70},
+			Trials:       2,
+			HyperPeriods: 2,
+			Seed:         1,
+			Workers:      1,
+			ShardWorkers: parShardWorkers(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) == 0 {
+			b.Fatal("case study produced no points")
 		}
 	}
 }
@@ -320,6 +363,9 @@ func Specs() []Spec {
 			Bench: func(b *testing.B) { runSkewed(b, "globalmin") }},
 		{Name: "RunSkewed/fastforward", SlotsPerOp: skewedSlotsPerOp(),
 			Bench: func(b *testing.B) { runSkewed(b, "fastforward") }},
+		{Name: "RunSkewed/parshard", SlotsPerOp: skewedSlotsPerOp(),
+			Bench: func(b *testing.B) { runSkewed(b, "parshard") }},
+		{Name: "CaseStudyShardPar", SlotsPerOp: 0, Bench: caseStudyShardPar},
 		{Name: "PQChurn", SlotsPerOp: 0, Bench: pqChurn},
 		{Name: "CollectorComplete/exact", SlotsPerOp: 0,
 			Bench: func(b *testing.B) { collectorComplete(b, system.MetricsExact) }},

@@ -335,6 +335,14 @@ func (d *deviceShard) Step(now slot.Time) { d.mgr.Step(now) }
 // NextWork is the manager's quiescence bound on its local clock.
 func (d *deviceShard) NextWork(now slot.Time) slot.Time { return d.mgr.NextWork(now) }
 
+// SetCompletionSink implements system.ParallelShard: the parallel
+// runner buffers this manager's completions per shard and merges them
+// at the epoch barrier, replacing the direct collector wiring done at
+// construction.
+func (d *deviceShard) SetCompletionSink(sink func(j *task.Job, at slot.Time)) {
+	d.mgr.OnComplete = sink
+}
+
 // SkipTo bulk-accounts a fast-forwarded idle span.
 func (d *deviceShard) SkipTo(from, to slot.Time) { d.mgr.SkipTo(from, to) }
 

@@ -90,6 +90,11 @@ type CaseStudyConfig struct {
 	// (the reference semantics). Output is byte-identical either way;
 	// the flag exists for the equivalence cmp in CI and for debugging.
 	Dense bool
+	// ShardWorkers fans each trial's device shards across this many OS
+	// threads (the epoch-barrier parallel executor, DESIGN.md §11);
+	// < 2 keeps the sequential per-shard schedule. Like Workers it only
+	// changes wall-clock time — output is identical for any value.
+	ShardWorkers int
 	// Metrics selects each trial's collector mode. The rendered Fig. 7
 	// tables use only exactly-counted quantities (success ratio from
 	// CriticalMisses, throughput from BytesServed), so exact and
@@ -172,12 +177,13 @@ func CaseStudy(cfg CaseStudyConfig) ([]CaseStudyPoint, error) {
 					return nil, fmt.Errorf("experiments: unknown system %q", name)
 				}
 				cells = append(cells, system.Cell{Build: build, Trial: system.Trial{
-					VMs:     cfg.VMs,
-					Tasks:   ts,
-					Horizon: horizon,
-					Seed:    seed,
-					Dense:   cfg.Dense,
-					Metrics: cfg.Metrics,
+					VMs:          cfg.VMs,
+					Tasks:        ts,
+					Horizon:      horizon,
+					Seed:         seed,
+					Dense:        cfg.Dense,
+					Metrics:      cfg.Metrics,
+					ShardWorkers: cfg.ShardWorkers,
 				}})
 			}
 		}

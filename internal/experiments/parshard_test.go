@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"ioguard/internal/metrics"
+	"ioguard/internal/system"
+	"ioguard/internal/workload"
+)
+
+// workerCounts are the fan-outs the parallel-shard contract is pinned
+// at: the degenerate single worker (must route through the sequential
+// schedule), the smallest real split, and every core the host offers.
+func workerCounts() []int {
+	counts := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// runParallel executes the trial with the epoch-barrier parallel
+// executor at the given worker count.
+func runParallel(t *testing.T, build system.Builder, tr system.Trial, workers int) *metrics.TrialResult {
+	t.Helper()
+	tr.Dense = false
+	tr.ShardWorkers = workers
+	res, err := system.Run(build, tr)
+	if err != nil {
+		t.Fatalf("parallel run (%d workers): %v", workers, err)
+	}
+	return res
+}
+
+// TestParallelShardEquivalence is the parallel executor's enforcement
+// point: for every system, dense stepping, sequential shard clocks and
+// parallel shard execution must produce byte-identical TrialResults at
+// every worker count — the same completions, misses, drops and bytes,
+// and the same response/tardiness samples in the same order. Run under
+// -race in CI, this also proves the epoch executor publishes no shared
+// state outside the barrier.
+func TestParallelShardEquivalence(t *testing.T) {
+	caseTS, err := workload.Generate(workload.Config{VMs: 4, TargetUtil: 0.7, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	telTS, err := workload.GenerateTelemetry(workload.TelemetryConfig{VMs: 4, HotDevice: "can", HotUtil: 0.6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := []struct {
+		name string
+		tr   system.Trial
+	}{
+		{"case-study", system.Trial{VMs: 4, Tasks: caseTS, Horizon: caseTS.Hyperperiod() * 2, Seed: 101}},
+		{"telemetry", system.Trial{VMs: 4, Tasks: telTS, Horizon: telTS.Hyperperiod(), Seed: 9}},
+	}
+	builders := Builders()
+	for _, name := range SystemNames() {
+		build := builders[name]
+		for _, w := range workloads {
+			t.Run(fmt.Sprintf("%s/%s", name, w.name), func(t *testing.T) {
+				dense, _, sharded := runThree(t, build, w.tr)
+				requireEqual(t, dense, sharded)
+				for _, workers := range workerCounts() {
+					requireEqual(t, dense, runParallel(t, build, w.tr, workers))
+				}
+			})
+		}
+	}
+}
+
+// TestParallelShardEquivalenceStream repeats the contract in streaming
+// metrics mode: the merge order at the epoch barrier must reproduce the
+// sequential completion sequence exactly, or the order-sensitive GK
+// sketches would diverge.
+func TestParallelShardEquivalenceStream(t *testing.T) {
+	ts, err := workload.GenerateTelemetry(workload.TelemetryConfig{VMs: 4, Sensors: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := system.Trial{VMs: 4, Tasks: ts, Horizon: ts.Hyperperiod(), Seed: 5, Metrics: system.MetricsStream}
+	builders := Builders()
+	for _, name := range SystemNames() {
+		build := builders[name]
+		t.Run(name, func(t *testing.T) {
+			sequential, err := system.Run(build, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range workerCounts() {
+				requireEqual(t, sequential, runParallel(t, build, tr, workers))
+			}
+		})
+	}
+}
+
+// TestParallelShardEquivalenceRandomized fuzzes the contract: random
+// VM counts, utilizations and seeds over the case-study generator,
+// every system, dense vs parallel shards at 2 and GOMAXPROCS workers.
+func TestParallelShardEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	builders := Builders()
+	const trials = 3
+	for i := 0; i < trials; i++ {
+		vms := 1 + rng.Intn(8)
+		util := 0.40 + 0.60*rng.Float64()
+		seed := rng.Int63()
+		ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := system.Trial{VMs: vms, Tasks: ts, Horizon: ts.Hyperperiod() * 2, Seed: seed}
+		for _, name := range SystemNames() {
+			build := builders[name]
+			t.Run(fmt.Sprintf("t%d/%s", i, name), func(t *testing.T) {
+				tr := tr
+				tr.Dense = true
+				dense, err := system.Run(build, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr.Dense = false
+				for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+					requireEqual(t, dense, runParallel(t, build, tr, workers))
+				}
+			})
+		}
+	}
+}

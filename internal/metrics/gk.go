@@ -58,7 +58,23 @@ func (s *GKSketch) Epsilon() float64 { return s.eps }
 func (s *GKSketch) N() int64 { return s.n }
 
 // Tuples returns the current summary size (for memory accounting).
-func (s *GKSketch) Tuples() int { return len(s.tuples) }
+// Inserts since the last compression are folded in first, so the
+// reported size honors the O((1/ε)·log(εn)) bound even when queried
+// mid-stream between insert-cadence compressions.
+func (s *GKSketch) Tuples() int {
+	s.settle()
+	return len(s.tuples)
+}
+
+// settle compresses lazily: queries between the amortized
+// insert-cadence compressions must not observe (or answer from) a
+// summary that has outgrown its documented bound.
+func (s *GKSketch) settle() {
+	if s.pending > 0 {
+		s.compress()
+		s.pending = 0
+	}
+}
 
 // Add absorbs one observation.
 func (s *GKSketch) Add(v float64) {
@@ -115,6 +131,7 @@ func (s *GKSketch) Quantile(q float64) float64 {
 	if s.n == 0 || len(s.tuples) == 0 {
 		return 0
 	}
+	s.settle()
 	if q <= 0 {
 		return s.tuples[0].v
 	}
@@ -125,14 +142,21 @@ func (s *GKSketch) Quantile(q float64) float64 {
 	if target < 1 {
 		target = 1
 	}
-	tol := int64(s.eps * float64(s.n))
+	// The documented contract is rank error within ⌈εn⌉, so the band
+	// edge is target+⌈εn⌉ and the scan stops at the first successor
+	// whose maximum rank reaches it. (The previous floored tolerance
+	// with a strict compare searched a band of width ⌊εn⌋+1, which
+	// matches ⌈εn⌉ only while εn is fractional; once εn is integral it
+	// scanned one rank past the documented edge.)
+	tol := int64(math.Ceil(s.eps * float64(s.n)))
 	var rmin int64
 	for i := 0; i < len(s.tuples)-1; i++ {
 		rmin += s.tuples[i].g
 		next := s.tuples[i+1]
 		// Stop at the last tuple whose successor's rank band would
-		// overshoot the target: its own band then brackets it.
-		if rmin+next.g+next.delta > target+tol {
+		// reach the edge of the tolerance band: its own band then
+		// brackets the target.
+		if rmin+next.g+next.delta >= target+tol {
 			return s.tuples[i].v
 		}
 	}

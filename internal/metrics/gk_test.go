@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGKQuantileCeilTolerance pins the query band to the documented
+// ⌈εn⌉ contract at a boundary where the old floored-strict arithmetic
+// selects a different tuple. With εn integral (ε = 0.1, n = 30, εn = 3)
+// the floored tolerance combined with a strict compare searched a band
+// of width ⌊εn⌋+1 = 4 — one rank past the documented edge — while the
+// ⌈εn⌉ band stops exactly at target+3. The summary below (minimum
+// ranks 1, 5, 11, 15, 21, 27, 30; every interior tuple respects
+// g+Δ ≤ ⌊2εn⌋ = 6) queries target rank 8: the successor with maximum
+// rank 11 sits exactly on the band edge, so the ⌈εn⌉ scan stops at the
+// rank-5 tuple, whereas the floored-strict scan stepped past it and
+// returned the rank-11 tuple.
+func TestGKQuantileCeilTolerance(t *testing.T) {
+	s := &GKSketch{eps: 0.1, n: 30}
+	for i, g := range []int64{1, 4, 6, 4, 6, 6, 3} {
+		s.tuples = append(s.tuples, gkTuple{v: float64((i + 1) * 10), g: g})
+	}
+	// q·n = 8 exactly; both candidate tuples lie within ⌈εn⌉ ranks of
+	// the target, so the selection pins the tolerance arithmetic alone.
+	if got := s.Quantile(8.0 / 30); got != 20 {
+		t.Fatalf("Quantile(8/30) = %v, want 20 (rank-5 tuple: the rank-11 successor sits on the ⌈εn⌉ band edge; the floored-strict band scanned past it and returned 30)", got)
+	}
+}
+
+// TestGKTuplesLazyCompress: Tuples() and Quantile() must answer from a
+// compressed summary even when called between the amortized
+// insert-cadence compressions, so the documented O((1/ε)·log(εn))
+// size bound holds at any query point mid-stream.
+func TestGKTuplesLazyCompress(t *testing.T) {
+	const eps = 0.01 // compression cadence: every 50 inserts
+	s := NewGKSketch(eps)
+	rng := rand.New(rand.NewSource(17))
+	for i := 1; i <= 20_000; i++ {
+		s.Add(rng.Float64() * 1e6)
+		if i%137 != 0 { // 137 is coprime to the cadence: queries land mid-stream
+			continue
+		}
+		bound := int(math.Ceil(11 / (2 * eps) * math.Log2(2*eps*float64(i)+4)))
+		if got := s.Tuples(); got > bound {
+			t.Fatalf("mid-stream Tuples() = %d after %d inserts exceeds (11/2ε)·log₂(2εn) = %d", got, i, bound)
+		}
+		if s.pending != 0 {
+			t.Fatalf("Tuples() left %d inserts uncompressed after %d inserts", s.pending, i)
+		}
+	}
+	for s.pending == 0 {
+		s.Add(rng.Float64() * 1e6)
+	}
+	s.Quantile(0.5)
+	if s.pending != 0 {
+		t.Fatalf("Quantile() left %d inserts uncompressed", s.pending)
+	}
+}

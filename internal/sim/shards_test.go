@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -194,6 +196,187 @@ func TestShardSetHorizon(t *testing.T) {
 		}
 		if st.Stepped == horizon {
 			t.Errorf("shard %d never fast-forwarded", i)
+		}
+	}
+}
+
+// stale is a component whose NextWork mis-reports: it always answers
+// with slot 0, a slot strictly before the shard's clock after the
+// first step. The scheduler must treat such answers as "busy now" —
+// stepping densely — and never move a clock backwards.
+type stale struct {
+	stepped []slot.Time
+}
+
+func (s *stale) Step(now slot.Time) { s.stepped = append(s.stepped, now) }
+
+func (s *stale) NextWork(now slot.Time) slot.Time { return 0 }
+
+// TestShardSetStaleNextWork: a NextWork answer below the shard's
+// current clock must not rewind it (or wedge the scheduler) — the
+// shard degrades to dense stepping, each slot executed exactly once in
+// order.
+func TestShardSetStaleNextWork(t *testing.T) {
+	const horizon = 200
+	bad := &stale{}
+	peer := &probe{t: t, name: "peer", work: []slot.Time{0, 150}}
+	s := NewShardSet()
+	s.Add(bad)
+	s.Add(peer)
+	s.Run(horizon, nil, nil)
+	if len(bad.stepped) != horizon {
+		t.Fatalf("stale shard stepped %d slots, want %d (dense)", len(bad.stepped), horizon)
+	}
+	for i, at := range bad.stepped {
+		if at != slot.Time(i) {
+			t.Fatalf("stale shard step %d ran at slot %d; clock moved non-monotonically", i, at)
+		}
+	}
+	if got := s.Clock(0); got != horizon {
+		t.Errorf("stale shard clock = %d, want %d", got, horizon)
+	}
+	if peer.wi != len(peer.work) {
+		t.Errorf("peer finished %d/%d work items next to a stale shard", peer.wi, len(peer.work))
+	}
+}
+
+// TestShardSetSkipExactlyToUntil: a shard whose work ends early must
+// fast-forward in one jump to exactly the run bound — clock pinned at
+// until, the whole remaining span accounted as skipped — on a
+// multi-shard set driven with nil feed and horizon.
+func TestShardSetSkipExactlyToUntil(t *testing.T) {
+	const horizon = 1000
+	early := &probe{t: t, name: "early", work: []slot.Time{0}}
+	late := &probe{t: t, name: "late", work: []slot.Time{0, 500, 999}}
+	s := NewShardSet()
+	s.Add(early)
+	s.Add(late)
+	s.Run(horizon, nil, nil)
+	if st := s.Stats(0); st.Stepped != 1 || st.Skipped != horizon-1 {
+		t.Errorf("early shard stats = %+v, want {Stepped:1 Skipped:%d}", st, horizon-1)
+	}
+	if got := s.Clock(0); got != horizon {
+		t.Errorf("early shard clock = %d, want exactly until (%d)", got, horizon)
+	}
+	if late.wi != len(late.work) {
+		t.Errorf("late shard finished %d/%d work items", late.wi, len(late.work))
+	}
+	// Re-running with the same bound must be a no-op: every clock is
+	// already at until.
+	s.Run(horizon, nil, nil)
+	if st := s.Stats(0); st.Stepped != 1 {
+		t.Errorf("re-run at the same bound stepped the shard again: %+v", st)
+	}
+}
+
+// parallelProbes builds a ShardSet of n probes with deterministic
+// per-shard work plans and private execution logs (no shared state, so
+// the set is safe to drive from RunParallel's worker goroutines).
+func parallelProbes(t *testing.T, n int, horizon slot.Time) (*ShardSet, []*probe, []*[]exec) {
+	rng := rand.New(rand.NewSource(int64(n)*1009 + 1))
+	s := NewShardSet()
+	ps := make([]*probe, n)
+	logs := make([]*[]exec, n)
+	for i := 0; i < n; i++ {
+		var plan []slot.Time
+		for at := slot.Time(rng.Intn(16)); at < horizon; at += slot.Time(1 + rng.Intn(211)) {
+			plan = append(plan, at)
+		}
+		log := &[]exec{}
+		p := &probe{t: t, name: fmt.Sprintf("p%d", i), work: plan, log: log}
+		p.idx = s.Add(p)
+		ps[i] = p
+		logs[i] = log
+	}
+	return s, ps, logs
+}
+
+// TestShardSetRunParallelMatchesRun: for any worker count — degenerate
+// (1), uneven (n not divisible), equal to and exceeding the shard
+// count — every shard's executed slot sequence, stats and final clock
+// must be identical to the sequential laggard-first run.
+func TestShardSetRunParallelMatchesRun(t *testing.T) {
+	const shards, horizon = 6, 4000
+	ref, _, refLogs := parallelProbes(t, shards, horizon)
+	ref.Run(horizon, nil, nil)
+	for _, workers := range []int{1, 2, 3, 4, 6, 9} {
+		s, _, logs := parallelProbes(t, shards, horizon)
+		s.RunParallel(horizon, nil, nil, workers)
+		for i := 0; i < shards; i++ {
+			if !reflect.DeepEqual(*logs[i], *refLogs[i]) {
+				t.Errorf("workers=%d: shard %d executed %d slots, sequential executed %d (or in a different order)",
+					workers, i, len(*logs[i]), len(*refLogs[i]))
+			}
+			if s.Stats(i) != ref.Stats(i) {
+				t.Errorf("workers=%d: shard %d stats %+v, want %+v", workers, i, s.Stats(i), ref.Stats(i))
+			}
+			if s.Clock(i) != ref.Clock(i) {
+				t.Errorf("workers=%d: shard %d clock %d, want %d", workers, i, s.Clock(i), ref.Clock(i))
+			}
+		}
+	}
+}
+
+// TestShardSetRunParallelEpochs drives the same set through repeated
+// RunParallel windows (the epoch pattern the system layer uses) with
+// shard-confined feed/horizon closures, checking inputs are consumed
+// exactly at their arrival slots and every epoch barrier leaves all
+// clocks at the window bound.
+func TestShardSetRunParallelEpochs(t *testing.T) {
+	const horizon = 30_000
+	const span = 1024
+	rng := rand.New(rand.NewSource(23))
+	var ks []*sink
+	s := NewShardSet()
+	for i := 0; i < 5; i++ {
+		var in []slot.Time
+		for at := slot.Time(rng.Intn(300)); at < horizon; at += slot.Time(50 + rng.Intn(3000)) {
+			in = append(in, at)
+		}
+		k := &sink{t: t, inputs: in}
+		ks = append(ks, k)
+		s.Add(k)
+	}
+	// Both closures touch only shard i's state — the confinement
+	// RunParallel's contract demands.
+	feed := func(i int, now slot.Time) {
+		k := ks[i]
+		for k.ii < len(k.inputs) && k.inputs[k.ii] <= now {
+			if k.inputs[k.ii] < now {
+				t.Errorf("shard %d: input at %d delivered late at %d", i, k.inputs[k.ii], now)
+			}
+			k.ii++
+			k.consumed++
+		}
+	}
+	hz := func(i int, limit slot.Time) slot.Time {
+		k := ks[i]
+		if k.ii >= len(k.inputs) || k.inputs[k.ii] > limit {
+			return limit
+		}
+		return k.inputs[k.ii]
+	}
+	for end := slot.Time(span); ; end += span {
+		if end > horizon {
+			end = horizon
+		}
+		s.RunParallel(end, feed, hz, 3)
+		for i := range ks {
+			if got := s.Clock(i); got != end {
+				t.Fatalf("after epoch to %d: shard %d clock = %d (barrier leak)", end, i, got)
+			}
+		}
+		if end == horizon {
+			break
+		}
+	}
+	for i, k := range ks {
+		if k.consumed != len(k.inputs) {
+			t.Errorf("shard %d consumed %d/%d inputs", i, k.consumed, len(k.inputs))
+		}
+		st := s.Stats(i)
+		if st.Stepped+int64(st.Skipped) != horizon {
+			t.Errorf("shard %d: stepped %d + skipped %d ≠ %d", i, st.Stepped, st.Skipped, horizon)
 		}
 	}
 }

@@ -102,6 +102,20 @@ func RunCells(cells []Cell, workers int) ([]*metrics.TrialResult, error) {
 	return results, nil
 }
 
+// trialSeed derives the seed for one trial of a sweep by running the
+// (base seed, trial index) pair through a SplitMix64-style finalizer.
+// An additive stride (the old base + i·7919) makes two sweeps whose
+// base seeds differ by a multiple of the stride replay overlapping
+// trial-seed sequences — the avalanche mix keeps every sweep's
+// sequence disjoint in practice while staying a pure function of
+// (base, index), so results are reproducible for any worker count.
+func trialSeed(base int64, trial int) int64 {
+	z := uint64(base) + (uint64(trial)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // ParallelSweep is Sweep across a worker pool: `trials` independent
 // seeds of one configuration run on `workers` goroutines (≤ 0 =
 // GOMAXPROCS) and are folded into the aggregate in trial order, so
@@ -110,7 +124,7 @@ func ParallelSweep(build Builder, tr Trial, trials, workers int) (*metrics.Aggre
 	cells := make([]Cell, 0, trials)
 	for i := 0; i < trials; i++ {
 		t := tr
-		t.Seed = tr.Seed + int64(i)*7919
+		t.Seed = trialSeed(tr.Seed, i)
 		cells = append(cells, Cell{Build: build, Trial: t})
 	}
 	results, err := RunCells(cells, workers)

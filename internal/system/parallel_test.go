@@ -54,6 +54,31 @@ func TestParallelSweepMatchesSweep(t *testing.T) {
 	}
 }
 
+// TestTrialSeedCrossSweepDisjoint pins the fix for the additive
+// derivation (base + i·7919): two sweeps whose base seeds differ by a
+// multiple of the old stride used to replay overlapping trial-seed
+// sequences (sweep A's trial i+k equalled sweep B's trial i). The
+// SplitMix64-style mix must keep every pair of realistic sweeps fully
+// disjoint, and stay a pure function of (base, index).
+func TestTrialSeedCrossSweepDisjoint(t *testing.T) {
+	const trials = 256
+	bases := []int64{0, 1, 11, 17, 7919, 2 * 7919, 17 + 7919, 17 + 3*7919, -7919}
+	seen := make(map[int64]string, trials*len(bases))
+	for _, base := range bases {
+		for i := 0; i < trials; i++ {
+			s := trialSeed(base, i)
+			at := fmt.Sprintf("base=%d trial=%d", base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed %d collides: %s and %s", s, prev, at)
+			}
+			seen[s] = at
+		}
+	}
+	if a, b := trialSeed(42, 7), trialSeed(42, 7); a != b {
+		t.Fatalf("trialSeed not deterministic: %d vs %d", a, b)
+	}
+}
+
 func TestRunCellsOrderAndIsolation(t *testing.T) {
 	// Different delays give each cell a distinguishable result; the
 	// returned slice must line up with the input order regardless of

@@ -42,6 +42,20 @@ type ShardedSystem interface {
 	Shards() []Shard
 }
 
+// ParallelShard is a Shard whose completion stream can be redirected
+// into a runner-owned sink. The parallel executor requires it: shards
+// step concurrently, so completions must be buffered per shard (the
+// sink is only ever called from that shard's goroutine) and merged in
+// (slot, shard) order at the epoch barrier instead of reaching the
+// collector directly. Shards that don't implement it cap a trial at
+// sequential sharded execution.
+type ParallelShard interface {
+	Shard
+	// SetCompletionSink routes every subsequent completion of this
+	// shard to sink instead of the collector the shard was built with.
+	SetCompletionSink(sink func(j *task.Job, at slot.Time))
+}
+
 // drainChunk bounds how many release slots a single horizon query may
 // materialize while searching for the querying shard's next
 // submission. Hitting the bound returns the fleet cursor as a
@@ -126,4 +140,170 @@ func runSharded(shards []Shard, fleet *vm.Fleet, horizon slot.Time, fallback fun
 		}
 	}
 	set.Run(horizon, feed, hz)
+}
+
+// epochSpan bounds one parallel window in busy regions: the
+// coordinator pre-drains this many slots' releases, the shard groups
+// execute them concurrently, and the buffered completions merge at the
+// barrier. Larger spans amortize the barrier; smaller spans bound the
+// completion buffers. Idle regions are not bound by it — an empty span
+// extends straight to the next release, so a long gap costs one epoch.
+const epochSpan = 4096
+
+// shardCompletion is one buffered completion: the job and observation
+// slot the collector will see, plus the local slot of the emitting
+// Step, which (with the shard index) reconstructs the sequential
+// delivery order.
+type shardCompletion struct {
+	j       *task.Job
+	at      slot.Time
+	emitted slot.Time
+}
+
+// runShardedParallel drives one trial on decoupled per-shard clocks
+// across `workers` OS threads. It reports false — without running
+// anything — when the trial cannot execute in parallel (fewer than two
+// shards or workers, or a shard without completion redirection), in
+// which case the caller falls back to runSharded.
+//
+// The sequential runner's feed/horizon closures lazily drain the
+// shared fleet, which cannot be called concurrently. The parallel
+// runner instead alternates two phases per epoch [start, end):
+//
+//  1. Coordinator (single-threaded): drain every fleet release below
+//     end — in global release order, so the jitter RNG sequence is
+//     identical to a dense run — into per-shard FIFO mailboxes, then
+//  2. Epoch (parallel): sim.ShardSet.RunParallel advances every shard
+//     to end. Within the epoch feed and horizon touch only the
+//     querying shard's own mailbox (head release or the limit), so
+//     they are shard-confined as RunParallel requires. Every mailbox
+//     drains fully: all buffered releases are < end and each shard's
+//     clock reaches end.
+//
+// Completions emitted during the epoch are buffered per shard — each
+// tagged with the local slot of the Step that emitted it — and merged
+// into the collector at the barrier in (slot, shard) lexicographic
+// order: exactly the order the sequential laggard-first schedule
+// delivers them in, so results are byte-identical to runSharded (and
+// hence to dense), for any worker count. The safety argument is the
+// same lookahead one as sequential sharding: a shard only jumps a span
+// its own NextWork and its mailbox horizon prove empty, and no feed
+// can target an unexecuted slot because every release below the epoch
+// end is mailboxed before the epoch starts.
+func runShardedParallel(shards []Shard, fleet *vm.Fleet, horizon slot.Time, workers int, col *Collector, fallback func(j *task.Job)) bool {
+	if len(shards) < 2 || workers < 2 {
+		return false
+	}
+	par := make([]ParallelShard, len(shards))
+	for i, sh := range shards {
+		p, ok := sh.(ParallelShard)
+		if !ok {
+			return false
+		}
+		par[i] = p
+	}
+	set := sim.NewShardSet()
+	route := make(map[string]int, len(shards))
+	bufs := make([]*queue.FIFO[*task.Job], len(shards))
+	comps := make([][]shardCompletion, len(shards))
+	cur := make([]slot.Time, len(shards))
+	for i, sh := range shards {
+		set.Add(sh)
+		bufs[i] = queue.NewFIFO[*task.Job](0)
+		for _, d := range sh.Devices() {
+			route[d] = i
+		}
+		i := i
+		par[i].SetCompletionSink(func(j *task.Job, at slot.Time) {
+			comps[i] = append(comps[i], shardCompletion{j: j, at: at, emitted: cur[i]})
+		})
+	}
+	emit := func(j *task.Job) {
+		if i, ok := route[j.Task.Device]; ok {
+			bufs[i].Push(j)
+			return
+		}
+		fallback(j)
+	}
+	feed := func(i int, now slot.Time) {
+		cur[i] = now
+		b := bufs[i]
+		for {
+			j, ok := b.Peek()
+			if !ok || j.Release > now {
+				break
+			}
+			b.Pop()
+			shards[i].Submit(now, j)
+		}
+	}
+	hz := func(i int, limit slot.Time) slot.Time {
+		if j, ok := bufs[i].Peek(); ok {
+			return j.Release
+		}
+		return limit
+	}
+	heads := make([]int, len(shards))
+	for start := slot.Time(0); start < horizon; {
+		end := start + epochSpan
+		if end > horizon {
+			end = horizon
+		}
+		for {
+			nr := fleet.NextRelease()
+			if nr >= end {
+				break
+			}
+			fleet.Release(nr, emit)
+		}
+		// Empty span: stretch the epoch to the next release (or the
+		// horizon) so idle regions cost one barrier, not one per span.
+		if end < horizon {
+			empty := true
+			for _, b := range bufs {
+				if _, ok := b.Peek(); ok {
+					empty = false
+					break
+				}
+			}
+			if nr := fleet.NextRelease(); empty && nr > end {
+				end = nr
+				if end > horizon {
+					end = horizon
+				}
+			}
+		}
+		set.RunParallel(end, feed, hz, workers)
+		// Barrier merge: replay the per-shard completion streams into
+		// the collector in (emission slot, shard) order. Each stream is
+		// already slot-ordered, so a k-way head merge reproduces the
+		// sequential delivery sequence exactly.
+		for i := range heads {
+			heads[i] = 0
+		}
+		for {
+			best := -1
+			for i, cs := range comps {
+				if heads[i] >= len(cs) {
+					continue
+				}
+				if best < 0 || cs[heads[i]].emitted < comps[best][heads[best]].emitted {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			c := comps[best][heads[best]]
+			heads[best]++
+			if col != nil {
+				col.Complete(c.j, c.at)
+			}
+		}
+		for i := range comps {
+			comps[i] = comps[i][:0]
+		}
+		start = end
+	}
+	return true
 }

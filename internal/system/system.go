@@ -55,6 +55,13 @@ type Trial struct {
 	// collector memory independent of the horizon at the cost of
 	// ε-approximate percentiles.
 	Metrics MetricsMode
+	// ShardWorkers fans a ShardedSystem's shards out across this many
+	// OS threads within the trial (the epoch-barrier parallel executor,
+	// runShardedParallel). Values < 2 — the zero value included — keep
+	// the sequential laggard-first schedule on one thread; either way
+	// results are byte-identical, an invariant enforced by the
+	// three-way equivalence tests and the CI -race job.
+	ShardWorkers int
 }
 
 // Builder constructs a system wired to a collector. It receives the
@@ -85,7 +92,9 @@ func expectedCompletions(ts task.Set, horizon slot.Time) int {
 //   - ShardedSystem: every shard owns a local virtual clock and
 //     advances independently through its own busy/idle regions
 //     (sim.ShardSet), so one busy device no longer throttles idle
-//     peers;
+//     peers; with tr.ShardWorkers ≥ 2 (and shards that support
+//     completion redirection) the shards additionally fan out across
+//     OS threads under the epoch-barrier executor;
 //   - sim.Quiescer only: the legacy global fast-forward — the slot
 //     loop skips regions where the *whole* system declares no work
 //     and the fleet has no release due.
@@ -112,7 +121,10 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 	}
 	if ss, ok := sys.(ShardedSystem); ok && !tr.Dense {
 		if shards := ss.Shards(); len(shards) > 0 {
-			runSharded(shards, fleet, tr.Horizon, func(j *task.Job) { sys.Submit(j.Release, j) })
+			fallback := func(j *task.Job) { sys.Submit(j.Release, j) }
+			if !runShardedParallel(shards, fleet, tr.Horizon, tr.ShardWorkers, col, fallback) {
+				runSharded(shards, fleet, tr.Horizon, fallback)
+			}
 			res := col.Result(sys, tr.Horizon)
 			res.Released = fleet.Released()
 			return res, nil
