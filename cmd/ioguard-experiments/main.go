@@ -18,8 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
+	"ioguard/internal/cliflags"
 	"ioguard/internal/experiments"
 	"ioguard/internal/footprint"
 	"ioguard/internal/system"
@@ -33,18 +33,16 @@ func main() {
 		maxEta  = flag.Int("maxeta", 4, "maximum scaling factor η for fig8")
 		utilArg = flag.Float64("util", 0.8, "target utilization for the ablation")
 		seed    = flag.Int64("seed", 1, "base random seed")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines running trial cells (output is identical for any value)")
 		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (disables the decoupled per-device clocks; output is identical either way)")
-		metrics = flag.String("metrics", "exact", "collector mode per trial: exact (buffered) or stream (bounded memory; rendered tables are byte-identical either way)")
-		shardWk = flag.Int("shard-workers", 0, "OS threads advancing one trial's device shards in parallel (< 2 = sequential; output is identical for any value)")
 	)
+	execFlags := cliflags.RegisterDefault()
 	flag.Parse()
-	mode, err := system.ParseMetricsMode(*metrics)
+	r, err := execFlags.Resolve()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, *workers, *dense, mode, *shardWk); err != nil {
+	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, r.Workers, *dense, r.Metrics, r.ShardWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,288 @@
+// Command ioguard-load drives the trial server with sustained
+// concurrent load and reports the achieved trial rate plus the
+// server-side latency breakdown (queue wait, batch execution, batch
+// size) carried in every streamed result line. It doubles as the
+// CI smoke harness: with -assert it fails the process unless the run
+// saw zero transport/protocol errors, every accepted request streamed
+// back exactly its trial count (no accepted-but-lost work), and the
+// optional -min-tps / -expect-rejects conditions hold. In -self mode
+// it spins an in-process server first, so one command exercises the
+// full admit → batch → execute → stream path and can cross-check the
+// server's own admission counters against the client's observations.
+//
+// Usage:
+//
+//	ioguard-load -addr http://127.0.0.1:8080 -clients 32 -duration 10s
+//	ioguard-load -self -clients 16 -duration 3s -assert -min-tps 1000
+//	ioguard-load -self -queue-depth 64 -clients 32 -expect-rejects -assert
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ioguard/internal/cliflags"
+	"ioguard/internal/server"
+)
+
+type counters struct {
+	requests       atomic.Int64 // POSTs issued
+	accepted       atomic.Int64 // 200 responses
+	rejected       atomic.Int64 // 429 responses
+	errors         atomic.Int64 // transport/protocol/trial errors
+	trialsReturned atomic.Int64 // result lines read
+	trialsLost     atomic.Int64 // accepted lines that never arrived
+}
+
+type timingAgg struct {
+	mu         sync.Mutex
+	clientMs   []float64 // whole-request round trip
+	queueWait  []float64 // server-reported, per trial
+	execMs     []float64
+	batchSizes []float64
+}
+
+func (t *timingAgg) addClient(ms float64) {
+	t.mu.Lock()
+	t.clientMs = append(t.clientMs, ms)
+	t.mu.Unlock()
+}
+
+func (t *timingAgg) addServer(tm serverTiming) {
+	t.mu.Lock()
+	t.queueWait = append(t.queueWait, tm.QueueWaitMs)
+	t.execMs = append(t.execMs, tm.ExecMs)
+	t.batchSizes = append(t.batchSizes, float64(tm.BatchSize))
+	t.mu.Unlock()
+}
+
+type serverTiming struct {
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	ExecMs      float64 `json:"exec_ms"`
+	BatchSize   int     `json:"batch_size"`
+}
+
+// resultLine is the subset of the server's NDJSON line the client
+// needs.
+type resultLine struct {
+	Error  string       `json:"error"`
+	Timing serverTiming `json:"timing"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "server base URL (empty with -self)")
+		self     = flag.Bool("self", false, "spin an in-process server and load it (no network)")
+		clients  = flag.Int("clients", 16, "concurrent client goroutines")
+		duration = flag.Duration("duration", 5*time.Second, "how long to sustain the load")
+		perReq   = flag.Int("trials-per-req", 4, "trials per POST /v1/trials request")
+		system   = flag.String("system", "ioguard-70", "system spec for the generated trials")
+		vms      = flag.Int("vms", 2, "VMs per trial")
+		util     = flag.Float64("util", 0.5, "per-device target utilization")
+		hps      = flag.Int("hyperperiods", 1, "horizon in hyper-periods per trial")
+		seedBase = flag.Int64("seed-base", 1, "base seed; each request perturbs it")
+		vary     = flag.Bool("vary-seeds", false, "give every request a distinct workload seed (costs a workload regeneration per request)")
+
+		// -self server knobs.
+		batchSize  = flag.Int("batch-size", 64, "self-mode: max trials per batch")
+		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "self-mode: batch flush wait")
+		queueDepth = flag.Int("queue-depth", 1024, "self-mode: admission bound on queued trials")
+
+		// Assertions.
+		assert        = flag.Bool("assert", false, "exit non-zero unless the run is clean (and meets -min-tps / -expect-rejects)")
+		minTPS        = flag.Float64("min-tps", 0, "assert at least this many executed trials per second")
+		expectRejects = flag.Bool("expect-rejects", false, "assert admission control engaged (some 429s)")
+	)
+	exec := cliflags.RegisterDefault()
+	flag.Parse()
+	r, err := exec.Resolve()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioguard-load:", err)
+		os.Exit(1)
+	}
+
+	base := *addr
+	var srv *server.Server
+	if *self {
+		srv = server.New(server.Config{
+			Batcher: server.BatcherConfig{
+				BatchSize:  *batchSize,
+				MaxWait:    *batchWait,
+				QueueDepth: *queueDepth,
+				Workers:    r.Workers,
+			},
+			DefaultMetrics:      r.Metrics.String(),
+			DefaultShardWorkers: r.ShardWorkers,
+		})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() { ts.Close(); srv.Close() }()
+		base = ts.URL
+	}
+	if base == "" {
+		fmt.Fprintln(os.Stderr, "ioguard-load: need -addr or -self")
+		os.Exit(1)
+	}
+
+	// One request body per distinct seed. Without -vary-seeds every
+	// request shares one workload (the server normalizes each request
+	// independently, so this measures execution, not generation).
+	makeBody := func(reqIndex int64) []byte {
+		seed := *seedBase
+		if *vary {
+			seed = *seedBase + reqIndex
+		}
+		b, _ := json.Marshal(map[string]any{
+			"system":       *system,
+			"vms":          *vms,
+			"util":         *util,
+			"hyperperiods": *hps,
+			"seed":         seed,
+			"trials":       *perReq,
+			"metrics":      r.Metrics.String(),
+		})
+		return b
+	}
+
+	var (
+		cnt     counters
+		timings timingAgg
+		reqSeq  atomic.Int64
+		wg      sync.WaitGroup
+	)
+	deadline := time.Now().Add(*duration)
+	client := &http.Client{}
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				body := makeBody(reqSeq.Add(1))
+				start := time.Now()
+				resp, err := client.Post(base+"/v1/trials", "application/json", bytes.NewReader(body))
+				if err != nil {
+					cnt.errors.Add(1)
+					continue
+				}
+				cnt.requests.Add(1)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					cnt.accepted.Add(1)
+					got := 0
+					sc := bufio.NewScanner(resp.Body)
+					sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+					for sc.Scan() {
+						var line resultLine
+						if err := json.Unmarshal(sc.Bytes(), &line); err != nil || line.Error != "" {
+							cnt.errors.Add(1)
+							continue
+						}
+						got++
+						cnt.trialsReturned.Add(1)
+						timings.addServer(line.Timing)
+					}
+					if err := sc.Err(); err != nil {
+						cnt.errors.Add(1)
+					}
+					if got < *perReq {
+						cnt.trialsLost.Add(int64(*perReq - got))
+					}
+					timings.addClient(float64(time.Since(start)) / float64(time.Millisecond))
+				case http.StatusTooManyRequests:
+					cnt.rejected.Add(1)
+					// Honour the finer-grained hint from the body if
+					// present; fall back to a short pause.
+					var eb struct {
+						RetryAfterMs int64 `json:"retry_after_ms"`
+					}
+					pause := 5 * time.Millisecond
+					if b, err := io.ReadAll(resp.Body); err == nil && json.Unmarshal(b, &eb) == nil && eb.RetryAfterMs > 0 {
+						pause = time.Duration(eb.RetryAfterMs) * time.Millisecond
+					}
+					time.Sleep(pause)
+				default:
+					cnt.errors.Add(1)
+					io.Copy(io.Discard, resp.Body)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := *duration
+
+	tps := float64(cnt.trialsReturned.Load()) / elapsed.Seconds()
+	fmt.Printf("ioguard-load: %d clients x %s against %s\n", *clients, duration, base)
+	fmt.Printf("  requests:         %d accepted=%d rejected(429)=%d errors=%d\n",
+		cnt.requests.Load(), cnt.accepted.Load(), cnt.rejected.Load(), cnt.errors.Load())
+	fmt.Printf("  trials executed:  %d (%.0f trials/sec)\n", cnt.trialsReturned.Load(), tps)
+	fmt.Printf("  trials lost:      %d (accepted but never streamed)\n", cnt.trialsLost.Load())
+	timings.mu.Lock()
+	fmt.Printf("  request RTT ms:   %s\n", summarize(timings.clientMs))
+	fmt.Printf("  queue wait ms:    %s\n", summarize(timings.queueWait))
+	fmt.Printf("  batch exec ms:    %s\n", summarize(timings.execMs))
+	fmt.Printf("  batch size:       %s\n", summarize(timings.batchSizes))
+	timings.mu.Unlock()
+
+	failures := 0
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			failures++
+			fmt.Printf("  FAIL: %s\n", fmt.Sprintf(format, args...))
+		}
+	}
+	if *assert {
+		check(cnt.errors.Load() == 0, "%d transport/protocol errors", cnt.errors.Load())
+		check(cnt.trialsLost.Load() == 0, "%d accepted trials lost", cnt.trialsLost.Load())
+		if *minTPS > 0 {
+			check(tps >= *minTPS, "throughput %.0f trials/sec below floor %.0f", tps, *minTPS)
+		}
+		if *expectRejects {
+			check(cnt.rejected.Load() > 0, "admission control never engaged (no 429s)")
+		}
+		if srv != nil {
+			st := srv.Batcher().Stats()
+			check(st.RejectedRequests == cnt.rejected.Load(),
+				"server admission counter %d != client-observed 429s %d", st.RejectedRequests, cnt.rejected.Load())
+			check(st.ExecutedTrials == st.AcceptedTrials,
+				"server executed %d of %d accepted trials", st.ExecutedTrials, st.AcceptedTrials)
+		}
+		if failures > 0 {
+			os.Exit(1)
+		}
+		fmt.Println("  assertions: all passed")
+	}
+}
+
+// summarize renders n/mean/p50/p99/max for a sample.
+func summarize(v []float64) string {
+	if len(v) == 0 {
+		return "n=0"
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	pct := func(p float64) float64 {
+		i := int(math.Ceil(p/100*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f",
+		len(s), sum/float64(len(s)), pct(50), pct(99), s[len(s)-1])
+}

@@ -1,0 +1,99 @@
+// Command ioguard-server exposes the slot-accurate simulator as an
+// HTTP service: trial requests are coalesced by a batcher onto the
+// deterministic worker pool (POST /v1/trials streams results back as
+// NDJSON), sweeps run asynchronously through an in-memory job store
+// (POST /v1/sweeps, then GET /v1/sweeps/{id}), and admission control
+// answers 429 + Retry-After when the bounded queues are full.
+//
+// Usage:
+//
+//	ioguard-server -addr 127.0.0.1:8080
+//	ioguard-server -batch-size 128 -batch-wait 1ms -queue-depth 4096
+//	ioguard-server -workers 8 -metrics stream
+//
+// A server-executed trial is byte-identical to ioguard-sim at the
+// same request parameters: both resolve system specs, workloads and
+// seed schedules through the same shared helpers, and the streamed
+// response carries the trial's rendered metrics block verbatim.
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener stops,
+// streaming handlers finish, and both execution paths drain — every
+// admitted trial and queued sweep completes before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ioguard/internal/cliflags"
+	"ioguard/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		batchSize  = flag.Int("batch-size", 64, "max trials coalesced into one batch")
+		batchWait  = flag.Duration("batch-wait", 2*time.Millisecond, "max time an open batch waits for more trials")
+		queueDepth = flag.Int("queue-depth", 1024, "admission bound on queued trials (beyond it: 429)")
+		maxJobs    = flag.Int("max-jobs", 64, "admission bound on queued sweep jobs (beyond it: 429)")
+		retryAfter = flag.Duration("retry-after", 250*time.Millisecond, "retry hint returned with 429 responses")
+		drainWait  = flag.Duration("drain-wait", 30*time.Second, "graceful-shutdown deadline for in-flight HTTP streams")
+	)
+	exec := cliflags.RegisterDefault()
+	flag.Parse()
+	r, err := exec.Resolve()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioguard-server:", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(server.Config{
+		Batcher: server.BatcherConfig{
+			BatchSize:  *batchSize,
+			MaxWait:    *batchWait,
+			QueueDepth: *queueDepth,
+			Workers:    r.Workers,
+		},
+		Jobs: server.JobStoreConfig{
+			MaxJobs: *maxJobs,
+			Workers: r.Workers,
+		},
+		RetryAfter:          *retryAfter,
+		DefaultMetrics:      r.Metrics.String(),
+		DefaultShardWorkers: r.ShardWorkers,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("ioguard-server: shutting down (draining in-flight work)")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("ioguard-server: shutdown: %v", err)
+		}
+		close(idle)
+	}()
+
+	log.Printf("ioguard-server: listening on %s (workers=%d batch-size=%d batch-wait=%s queue-depth=%d)",
+		*addr, r.Workers, *batchSize, *batchWait, *queueDepth)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "ioguard-server:", err)
+		os.Exit(1)
+	}
+	<-idle
+	// Listener is closed and streaming handlers have returned; now
+	// drain the execution paths so no admitted work is lost.
+	srv.Close()
+	log.Printf("ioguard-server: drained, bye")
+}

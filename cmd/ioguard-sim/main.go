@@ -23,17 +23,23 @@
 // -hyperperiods runs tractable. Counters, throughput and min/max are
 // identical in both modes. In stream mode -csv writes rows online
 // through a trace.CSVSink instead of buffering the event log.
+//
+// System specs, the printed metrics blocks and the -workers /
+// -shard-workers / -metrics trio are shared with ioguard-server
+// (internal/experiments, internal/cliflags): a server-executed trial
+// at the same parameters is byte-identical to this command's output.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"runtime"
 	"strings"
 
-	"ioguard/internal/baseline"
-	"ioguard/internal/core"
+	"ioguard/internal/cliflags"
+	"ioguard/internal/experiments"
 	"ioguard/internal/hypervisor"
 	"ioguard/internal/slot"
 	"ioguard/internal/system"
@@ -42,44 +48,46 @@ import (
 	"ioguard/internal/workload"
 )
 
+// openTraceFile creates the -csv output file. A variable so tests can
+// substitute a failing writer and exercise the flush-error paths.
+var openTraceFile = func(path string) (io.WriteCloser, error) { return os.Create(path) }
+
 func main() {
 	var (
-		sysName = flag.String("system", "ioguard-70", "legacy|rtxen|bluevisor|ioguard-<pct>")
+		sysName = flag.String("system", "ioguard-70", experiments.SystemSpecs())
 		vms     = flag.Int("vms", 4, "number of virtual machines")
 		util    = flag.Float64("util", 0.7, "target device utilization")
 		hps     = flag.Int("hyperperiods", 3, "horizon in workload hyper-periods")
 		seed    = flag.Int64("seed", 1, "random seed")
 		trials  = flag.Int("trials", 1, "repeat across N independent seeds and print the aggregate")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines running trials when -trials > 1 (output is identical for any value)")
 		gantt   = flag.Int("gantt", 0, "print a Gantt chart of the first N slots (I/O-GUARD only, single trial)")
 		csvPath = flag.String("csv", "", "write the execution trace as CSV (I/O-GUARD only, single trial)")
 		byTask  = flag.Bool("bytask", false, "print per-task completion/miss statistics (single trial)")
 		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (disables the decoupled per-device clocks; output is identical either way)")
-		metrics = flag.String("metrics", "exact", "collector mode: exact (buffered, exact percentiles) or stream (bounded memory, ε-approximate percentiles)")
-		shardWk = flag.Int("shard-workers", 0, "OS threads advancing one trial's device shards in parallel (< 2 = sequential; output is identical for any value)")
 	)
+	exec := cliflags.RegisterDefault()
 	flag.Parse()
-	mode, err := system.ParseMetricsMode(*metrics)
+	r, err := exec.Resolve()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
 		os.Exit(1)
 	}
-	if err := run(*sysName, *vms, *util, *hps, *seed, *trials, *workers, *gantt, *csvPath, *byTask, *dense, mode, *shardWk); err != nil {
+	if err := run(os.Stdout, *sysName, *vms, *util, *hps, *seed, *trials, r.Workers, *gantt, *csvPath, *byTask, *dense, r.Metrics, r.ShardWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sysName string, vms int, util float64, hps int, seed int64, trials, workers, gantt int, csvPath string, byTask, dense bool, mode system.MetricsMode, shardWorkers int) error {
+func run(out io.Writer, sysName string, vms int, util float64, hps int, seed int64, trials, workers, gantt int, csvPath string, byTask, dense bool, mode system.MetricsMode, shardWorkers int) (err error) {
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload: %d tasks, per-device utilization %v, hyper-period %d slots\n",
+	fmt.Fprintf(out, "workload: %d tasks, per-device utilization %v, hyper-period %d slots\n",
 		len(ts), formatUtil(workload.DeviceUtilization(ts)), ts.Hyperperiod())
 
 	if trials > 1 {
-		return runSweep(sysName, vms, util, hps, seed, trials, workers, dense, mode, shardWorkers)
+		return runSweep(out, sysName, vms, util, hps, seed, trials, workers, dense, mode, shardWorkers)
 	}
 
 	// Trace plumbing. The buffered Recorder backs -gantt (it renders
@@ -90,25 +98,39 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 	// after-the-run Each replay.
 	rec := &trace.Recorder{}
 	var sink *trace.CSVSink
-	var csvFile *os.File
 	if csvPath != "" && mode == system.MetricsStream {
-		csvFile, err = os.Create(csvPath)
-		if err != nil {
-			return err
+		csvFile, ferr := openTraceFile(csvPath)
+		if ferr != nil {
+			return ferr
 		}
 		defer csvFile.Close()
 		if sink, err = trace.NewCSVSink(csvFile); err != nil {
 			return err
 		}
+		// Sticky-error contract: the sink swallows write errors on the
+		// hot path and surfaces them at Flush, so EVERY exit path —
+		// including a trial error after partial trace output — must
+		// join the flush error into the command's result. The success
+		// path below flushes inline (to order the error before its
+		// status message) and clears sink so this runs only on early
+		// exits.
+		defer func() {
+			if sink != nil {
+				err = errors.Join(err, sink.Flush())
+			}
+		}()
 	}
 	wantTrace := gantt > 0 || csvPath != ""
 	onExec := rec.OnExecute
 	if sink != nil {
 		onExec = sink.OnExecute
 	}
-	build, err := builderFor(sysName, onExec, wantTrace)
+	build, err := experiments.BuilderFor(sysName)
 	if err != nil {
 		return err
+	}
+	if wantTrace {
+		build = withTrace(build, onExec)
 	}
 	var captured *system.Collector
 	wrapped := func(tr system.Trial, col *system.Collector) (system.System, error) {
@@ -135,34 +157,29 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 	if err != nil {
 		return err
 	}
-	fmt.Printf("system: %s\n", sysName)
-	fmt.Printf("  completed:        %d jobs (%d bytes)\n", res.Completed, res.BytesServed)
-	fmt.Printf("  critical misses:  %d\n", res.CriticalMisses)
-	fmt.Printf("  synthetic misses: %d\n", res.OtherMisses)
-	fmt.Printf("  unfinished:       %d   dropped: %d\n", res.Unfinished, res.Dropped)
-	fmt.Printf("  success:          %v\n", res.Success())
-	fmt.Printf("  throughput:       %.3f MB/s\n", res.ThroughputMBps())
-	fmt.Printf("  response (slots): %s\n", res.Response.String())
+	fmt.Fprint(out, experiments.RenderTrial(sysName, res))
 	if gantt > 0 {
 		if rec.Len() == 0 {
-			fmt.Println("(no trace recorded: -gantt is only wired for ioguard-* systems)")
+			fmt.Fprintln(out, "(no trace recorded: -gantt is only wired for ioguard-* systems)")
 		} else {
-			fmt.Println()
-			fmt.Print(rec.Gantt(0, slot.Time(gantt)))
+			fmt.Fprintln(out)
+			fmt.Fprint(out, rec.Gantt(0, slot.Time(gantt)))
 		}
 	}
 	if byTask && captured != nil {
-		fmt.Println()
-		fmt.Print(system.RenderByTask(captured.ByTask()))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, system.RenderByTask(captured.ByTask()))
 	}
 	if csvPath != "" {
 		if sink != nil {
-			if err := sink.Flush(); err != nil {
+			s := sink
+			sink = nil // the deferred joiner must not flush again
+			if err := s.Flush(); err != nil {
 				return err
 			}
-			fmt.Printf("streamed trace events to %s\n", csvPath)
+			fmt.Fprintf(out, "streamed trace events to %s\n", csvPath)
 		} else {
-			f, err := os.Create(csvPath)
+			f, err := openTraceFile(csvPath)
 			if err != nil {
 				return err
 			}
@@ -170,7 +187,7 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 			if err := rec.WriteCSV(f); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %d trace events to %s\n", rec.Len(), csvPath)
+			fmt.Fprintf(out, "wrote %d trace events to %s\n", rec.Len(), csvPath)
 		}
 	}
 	return nil
@@ -178,12 +195,12 @@ func run(sysName string, vms int, util float64, hps int, seed int64, trials, wor
 
 // runSweep repeats the trial across independent release seeds on the
 // deterministic worker pool and prints the aggregate.
-func runSweep(sysName string, vms int, util float64, hps int, seed int64, trials, workers int, dense bool, mode system.MetricsMode, shardWorkers int) error {
+func runSweep(out io.Writer, sysName string, vms int, util float64, hps int, seed int64, trials, workers int, dense bool, mode system.MetricsMode, shardWorkers int) error {
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
 		return err
 	}
-	build, err := builderFor(sysName, nil, false)
+	build, err := experiments.BuilderFor(sysName)
 	if err != nil {
 		return err
 	}
@@ -199,11 +216,7 @@ func runSweep(sysName string, vms int, util float64, hps int, seed int64, trials
 	if err != nil {
 		return err
 	}
-	fmt.Printf("system: %s (%d trials)\n", sysName, trials)
-	fmt.Printf("  success ratio:    %.1f%% (%d/%d trials)\n", 100*agg.SuccessRatio(), agg.Successes, agg.Trials)
-	fmt.Printf("  throughput MB/s:  mean=%.3f sd=%.3f min=%.3f max=%.3f\n",
-		agg.Throughput.Mean(), agg.Throughput.StdDev(), agg.Throughput.Min(), agg.Throughput.Max())
-	fmt.Printf("  critical misses:  mean=%.1f max=%.0f per trial\n", agg.Misses.Mean(), agg.Misses.Max())
+	fmt.Fprint(out, experiments.RenderAggregate(sysName, agg))
 	return nil
 }
 
@@ -217,47 +230,24 @@ func formatUtil(m map[string]float64) string {
 	return strings.Join(parts, " ")
 }
 
-func builderFor(name string, onExec func(slot.Time, *task.Job), wantTrace bool) (system.Builder, error) {
-	switch {
-	case name == "legacy":
-		return func(tr system.Trial, col *system.Collector) (system.System, error) {
-			return baseline.NewLegacy(tr.VMs, tr.Tasks, col)
-		}, nil
-	case name == "rtxen":
-		return func(tr system.Trial, col *system.Collector) (system.System, error) {
-			return baseline.NewRTXen(tr.VMs, tr.Tasks, col, 0)
-		}, nil
-	case name == "bluevisor":
-		return func(tr system.Trial, col *system.Collector) (system.System, error) {
-			return baseline.NewBlueVisor(tr.VMs, tr.Tasks, col)
-		}, nil
-	case strings.HasPrefix(name, "ioguard-"):
-		var pct int
-		if _, err := fmt.Sscanf(name, "ioguard-%d", &pct); err != nil || pct < 0 || pct > 100 {
-			return nil, fmt.Errorf("bad I/O-GUARD spec %q (want ioguard-<0..100>)", name)
+// withTrace hooks the per-slot execution callback into every manager
+// of an I/O-GUARD system (baselines have no managers; the hook is a
+// no-op for them, matching -gantt's documented scope).
+func withTrace(build system.Builder, onExec func(slot.Time, *task.Job)) system.Builder {
+	return func(tr system.Trial, col *system.Collector) (system.System, error) {
+		s, err := build(tr, col)
+		if err != nil {
+			return nil, err
 		}
-		frac := float64(pct) / 100
-		return func(tr system.Trial, col *system.Collector) (system.System, error) {
-			s, err := core.New(core.Config{
-				VMs:         tr.VMs,
-				PreloadFrac: frac,
-				Mode:        hypervisor.DirectEDF,
-			}, tr.Tasks, col)
-			if err != nil {
-				return nil, err
-			}
-			if wantTrace && onExec != nil {
-				for _, dev := range s.Hypervisor().Devices() {
-					mgr, err := s.Hypervisor().Manager(dev)
-					if err != nil {
-						return nil, err
-					}
-					mgr.OnExecute = onExec
+		if hv, ok := s.(interface{ Hypervisor() *hypervisor.Hypervisor }); ok {
+			for _, dev := range hv.Hypervisor().Devices() {
+				mgr, err := hv.Hypervisor().Manager(dev)
+				if err != nil {
+					return nil, err
 				}
+				mgr.OnExecute = onExec
 			}
-			return s, nil
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown system %q", name)
+		}
+		return s, nil
 	}
 }

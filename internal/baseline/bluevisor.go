@@ -10,6 +10,7 @@ package baseline
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ioguard/internal/queue"
 	"ioguard/internal/rtos"
@@ -106,10 +107,14 @@ func (s *bvShard) pendingJobs(visit func(j *task.Job)) {
 type BlueVisor struct {
 	tasks   task.Set
 	path    rtos.PathCost
-	col     *system.Collector
-	shards  []*bvShard
-	byDev   map[string]*bvShard
-	dropped int64
+	col    *system.Collector
+	shards []*bvShard
+	byDev  map[string]*bvShard
+	// dropped counts jobs for unknown devices. Atomic: Submit is the
+	// sharded runners' fallback path and may interleave with
+	// concurrent Dropped snapshots; per-shard full-queue drops stay in
+	// bvShard.dropped (shard-confined, summed below).
+	dropped atomic.Int64
 }
 
 var _ system.System = (*BlueVisor)(nil)
@@ -159,7 +164,7 @@ func (b *BlueVisor) Residual() task.Set { return b.tasks }
 func (b *BlueVisor) Submit(now slot.Time, j *task.Job) {
 	sh, ok := b.byDev[j.Task.Device]
 	if !ok {
-		b.dropped++
+		b.dropped.Add(1)
 		return
 	}
 	sh.Submit(now, j)
@@ -209,7 +214,7 @@ func (b *BlueVisor) Pending(visit func(j *task.Job)) {
 
 // Dropped returns jobs lost at unknown devices or full queues.
 func (b *BlueVisor) Dropped() int64 {
-	n := b.dropped
+	n := b.dropped.Load()
 	for _, sh := range b.shards {
 		n += sh.dropped
 	}

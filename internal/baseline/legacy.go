@@ -125,7 +125,7 @@ func (l *Legacy) Pending(visit func(j *task.Job)) {
 }
 
 // Dropped returns jobs lost in transport.
-func (l *Legacy) Dropped() int64 { return l.t.dropped }
+func (l *Legacy) Dropped() int64 { return l.t.dropped.Load() }
 
 // MeshStats exposes the NoC delivery statistics for inspection.
 func (l *Legacy) MeshStats() noc.Stats { return l.t.mesh.Stats() }

@@ -203,4 +203,4 @@ func (x *RTXen) Pending(visit func(j *task.Job)) {
 }
 
 // Dropped returns jobs lost in transport.
-func (x *RTXen) Dropped() int64 { return x.t.dropped }
+func (x *RTXen) Dropped() int64 { return x.t.dropped.Load() }

@@ -7,6 +7,7 @@ package baseline
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ioguard/internal/noc"
 	"ioguard/internal/packet"
@@ -36,7 +37,11 @@ type meshTransport struct {
 	tileDev  map[packet.NodeID]string
 	inflight map[jobKey]*task.Job
 	respCost slot.Time // software response-path cost at the processor
-	dropped  int64
+	// dropped counts jobs lost in transport (unknown device, full
+	// injection queue, unmatched delivery). Atomic: the Legacy/RT-Xen
+	// transports run single-shard today, but the counter is reachable
+	// from sharded submit paths and may be snapshotted concurrently.
+	dropped atomic.Int64
 	// observe optionally post-processes the observed completion time
 	// (RT-Xen delays it to the VM's next VCPU window).
 	observe func(vmID int, at slot.Time) slot.Time
@@ -97,7 +102,7 @@ func key(j *task.Job) jobKey {
 func (t *meshTransport) sendRequest(now slot.Time, j *task.Job) {
 	tile, ok := t.devTile[j.Task.Device]
 	if !ok {
-		t.dropped++
+		t.dropped.Add(1)
 		return
 	}
 	payload := j.Task.OpBytes
@@ -117,7 +122,7 @@ func (t *meshTransport) sendRequest(now slot.Time, j *task.Job) {
 	t.inflight[key(j)] = j
 	if !t.mesh.Inject(now, p) {
 		delete(t.inflight, key(j))
-		t.dropped++
+		t.dropped.Add(1)
 	}
 }
 
@@ -138,7 +143,7 @@ func (t *meshTransport) sendResponse(dev string, j *task.Job, finished slot.Time
 		Deadline: j.Deadline,
 	}, make([]byte, payload))
 	if !t.mesh.Inject(finished, p) {
-		t.dropped++
+		t.dropped.Add(1)
 	}
 }
 
@@ -148,18 +153,18 @@ func (t *meshTransport) onDeliver(p *packet.Packet, injected, now slot.Time) {
 	k := jobKey{task: p.Task, seq: p.Seq}
 	j, ok := t.inflight[k]
 	if !ok {
-		t.dropped++
+		t.dropped.Add(1)
 		return
 	}
 	switch p.Kind {
 	case packet.Request:
 		dev, ok := t.tileDev[p.Dst]
 		if !ok {
-			t.dropped++
+			t.dropped.Add(1)
 			return
 		}
 		if err := t.stations[dev].enqueue(j); err != nil {
-			t.dropped++
+			t.dropped.Add(1)
 		}
 	case packet.Response:
 		delete(t.inflight, k)

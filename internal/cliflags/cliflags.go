@@ -1,0 +1,79 @@
+// Package cliflags centralizes the execution flags every I/O-GUARD
+// command shares — -workers, -shard-workers and -metrics — so their
+// names, defaults, help text and validation live in exactly one place.
+// Before this package each main.go re-declared the trio by hand, which
+// let the trial server's configuration drift from the batch CLIs; now
+// ioguard-sim, ioguard-experiments, ioguard-server and ioguard-load
+// all register the same Exec block and resolve it through the same
+// validation.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+
+	"ioguard/internal/system"
+)
+
+// Exec holds the raw values of the shared execution flags as parsed
+// from the command line (or filled programmatically). Resolve
+// validates them into a runnable configuration.
+type Exec struct {
+	// Workers is the goroutine count fanning independent trial cells;
+	// ≤ 0 selects runtime.GOMAXPROCS(0). Output is identical for any
+	// value (the deterministic-fold contract of system.RunCells).
+	Workers int
+	// ShardWorkers is the OS-thread count advancing one trial's device
+	// shards in parallel (the epoch-barrier executor); < 2 keeps the
+	// sequential per-shard schedule. Output is identical for any value.
+	ShardWorkers int
+	// Metrics is the collector-mode spelling: exact (buffered, exact
+	// percentiles) or stream (bounded memory, ε-approximate
+	// percentiles).
+	Metrics string
+}
+
+// Resolved is a validated execution configuration.
+type Resolved struct {
+	Workers      int
+	ShardWorkers int
+	Metrics      system.MetricsMode
+}
+
+// Register installs the shared flags on fs with the canonical names,
+// defaults and help strings, returning the destination block. Call
+// Resolve after fs.Parse.
+func Register(fs *flag.FlagSet) *Exec {
+	e := &Exec{}
+	fs.IntVar(&e.Workers, "workers", runtime.GOMAXPROCS(0),
+		"goroutines running independent trials (output is identical for any value)")
+	fs.IntVar(&e.ShardWorkers, "shard-workers", 0,
+		"OS threads advancing one trial's device shards in parallel (< 2 = sequential; output is identical for any value)")
+	fs.StringVar(&e.Metrics, "metrics", system.MetricsExact.String(),
+		"collector mode: exact (buffered, exact percentiles) or stream (bounded memory, ε-approximate percentiles)")
+	return e
+}
+
+// RegisterDefault is Register on the process-wide flag.CommandLine.
+func RegisterDefault() *Exec { return Register(flag.CommandLine) }
+
+// Resolve validates the raw values: workers ≤ 0 resolves to
+// runtime.GOMAXPROCS(0) (matching system.RunCells), negative
+// shard-workers are rejected, and the metrics spelling is parsed
+// through the single system.ParseMetricsMode entry point.
+func (e *Exec) Resolve() (Resolved, error) {
+	r := Resolved{Workers: e.Workers, ShardWorkers: e.ShardWorkers}
+	if r.Workers <= 0 {
+		r.Workers = runtime.GOMAXPROCS(0)
+	}
+	if r.ShardWorkers < 0 {
+		return Resolved{}, fmt.Errorf("cliflags: negative -shard-workers %d", e.ShardWorkers)
+	}
+	mode, err := system.ParseMetricsMode(e.Metrics)
+	if err != nil {
+		return Resolved{}, err
+	}
+	r.Metrics = mode
+	return r, nil
+}

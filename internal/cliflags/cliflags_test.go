@@ -1,0 +1,67 @@
+package cliflags
+
+import (
+	"flag"
+	"runtime"
+	"testing"
+
+	"ioguard/internal/system"
+)
+
+func TestRegisterDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	e := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS", r.Workers)
+	}
+	if r.ShardWorkers != 0 {
+		t.Errorf("default shard-workers = %d, want 0", r.ShardWorkers)
+	}
+	if r.Metrics != system.MetricsExact {
+		t.Errorf("default metrics = %v, want exact", r.Metrics)
+	}
+}
+
+func TestResolveParsesAndValidates(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	e := Register(fs)
+	if err := fs.Parse([]string{"-workers", "3", "-shard-workers", "2", "-metrics", "stream"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers != 3 || r.ShardWorkers != 2 || r.Metrics != system.MetricsStream {
+		t.Errorf("resolved %+v", r)
+	}
+}
+
+func TestResolveRejectsBadValues(t *testing.T) {
+	if _, err := (&Exec{Metrics: "bogus"}).Resolve(); err == nil {
+		t.Error("bogus metrics mode accepted")
+	}
+	if _, err := (&Exec{ShardWorkers: -1, Metrics: "exact"}).Resolve(); err == nil {
+		t.Error("negative shard-workers accepted")
+	}
+}
+
+// TestWorkersFloorMatchesRunCells: workers ≤ 0 must resolve to the
+// same GOMAXPROCS fallback system.RunCells applies, so a resolved
+// configuration never disagrees with the pool it parameterizes.
+func TestWorkersFloorMatchesRunCells(t *testing.T) {
+	r, err := (&Exec{Workers: -4, Metrics: ""}).Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("workers floor = %d, want GOMAXPROCS", r.Workers)
+	}
+}

@@ -10,6 +10,7 @@ package hypervisor
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ioguard/internal/analysis"
 	"ioguard/internal/task"
@@ -19,7 +20,11 @@ import (
 // by EnableAdmission and consulted by Submit.
 type admission struct {
 	registered map[int]task.Set // vm → admitted task specs
-	rejected   int64
+	// rejected counts jobs refused at submit time. Atomic: Submit runs
+	// on a shard goroutine under the parallel executor while counter
+	// snapshots (RejectedAtAdmission, the server's stats endpoint) may
+	// read concurrently from another thread.
+	rejected atomic.Int64
 }
 
 // EnableAdmission switches the manager to admission-controlled
@@ -60,7 +65,7 @@ func (m *Manager) RejectedAtAdmission() int64 {
 	if m.adm == nil {
 		return 0
 	}
-	return m.adm.rejected
+	return m.adm.rejected.Load()
 }
 
 // RegisterTask runs the Theorem 3/4 test for the task's VM with the
@@ -131,6 +136,6 @@ func (m *Manager) admitted(j *task.Job) bool {
 			return true
 		}
 	}
-	m.adm.rejected++
+	m.adm.rejected.Add(1)
 	return false
 }

@@ -6,6 +6,7 @@ package hypervisor
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"ioguard/internal/slot"
 	"ioguard/internal/task"
@@ -17,7 +18,10 @@ type Hypervisor struct {
 	managers map[string]*Manager
 	drivers  map[string]Driver
 	names    []string // deterministic step order
-	dropped  int64
+	// dropped counts jobs for unknown devices. Atomic: Submit is the
+	// fallback path of the sharded runners and may interleave with
+	// concurrent Dropped snapshots (the server's stats endpoint).
+	dropped atomic.Int64
 }
 
 // NewHypervisor returns an empty hypervisor.
@@ -76,14 +80,14 @@ func (h *Hypervisor) Devices() []string {
 func (h *Hypervisor) Submit(now slot.Time, j *task.Job) {
 	m, ok := h.managers[j.Task.Device]
 	if !ok {
-		h.dropped++
+		h.dropped.Add(1)
 		return
 	}
 	m.Submit(now, j)
 }
 
 // Dropped returns the number of jobs rejected for unknown devices.
-func (h *Hypervisor) Dropped() int64 { return h.dropped }
+func (h *Hypervisor) Dropped() int64 { return h.dropped.Load() }
 
 // Step advances every manager one slot, in device-name order.
 func (h *Hypervisor) Step(now slot.Time) {

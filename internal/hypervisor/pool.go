@@ -9,6 +9,7 @@ package hypervisor
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ioguard/internal/queue"
 	"ioguard/internal/slot"
@@ -26,7 +27,11 @@ type Pool struct {
 	// the executor can remove a completed job in place.
 	handles map[*task.Job]queue.Handle
 
-	dropped int64 // jobs rejected because the queue was full
+	// dropped counts jobs rejected because the queue was full. Atomic:
+	// Admit runs on a shard goroutine under the parallel executor while
+	// Dropped may be read concurrently (counter snapshots, the server's
+	// stats endpoint).
+	dropped atomic.Int64
 }
 
 // NewPool returns an empty pool for the given VM. capacity bounds the
@@ -47,14 +52,14 @@ func (p *Pool) VM() int { return p.vm }
 func (p *Pool) Len() int { return p.pq.Len() }
 
 // Dropped returns how many jobs were rejected on a full queue.
-func (p *Pool) Dropped() int64 { return p.dropped }
+func (p *Pool) Dropped() int64 { return p.dropped.Load() }
 
 // Admit buffers a run-time job, keyed by its absolute deadline. It
 // reports false (and counts a drop) when the pool is full.
 func (p *Pool) Admit(j *task.Job) bool {
 	h, err := p.pq.Push(j.Deadline, j)
 	if err != nil {
-		p.dropped++
+		p.dropped.Add(1)
 		return false
 	}
 	p.handles[j] = h

@@ -1,0 +1,225 @@
+// Request and response shapes of the trial service's JSON API, plus
+// the translation from a validated request to the executable cells of
+// the deterministic runner. A request names the same knobs as the
+// ioguard-sim command line (system spec, VM count, target utilization,
+// horizon, seed, trial count) and resolves through the same shared
+// helpers — experiments.BuilderFor for semantics, workload.Generate
+// for the task set, system.SweepCells for the sweep seed schedule —
+// which is what makes a server-executed trial byte-identical to the
+// CLI at the same seed.
+package server
+
+import (
+	"fmt"
+
+	"ioguard/internal/experiments"
+	"ioguard/internal/metrics"
+	"ioguard/internal/slot"
+	"ioguard/internal/system"
+	"ioguard/internal/workload"
+)
+
+// TrialRequest is the body of POST /v1/trials and POST /v1/sweeps.
+// Zero-valued fields take the same defaults as the CLI flags.
+type TrialRequest struct {
+	// System is the spec spelling resolved by experiments.BuilderFor:
+	// legacy | rtxen | bluevisor | ioguard-<0..100>.
+	System string `json:"system"`
+	// VMs is the virtual-machine count (default 4).
+	VMs int `json:"vms,omitempty"`
+	// Util is the per-device target utilization (default 0.7).
+	Util float64 `json:"util,omitempty"`
+	// Hyperperiods is the horizon in workload hyper-periods (default 3).
+	Hyperperiods int `json:"hyperperiods,omitempty"`
+	// Seed seeds both the workload generator and the release jitter
+	// (default 1). With Trials > 1 the per-trial seeds follow
+	// ParallelSweep's SplitMix64 schedule from this base.
+	Seed int64 `json:"seed,omitempty"`
+	// Trials repeats the configuration across independent seeds
+	// (default 1). POST /v1/trials streams every trial's result;
+	// POST /v1/sweeps folds them into an aggregate.
+	Trials int `json:"trials,omitempty"`
+	// Dense disables the fast-forward (output is identical either way).
+	Dense bool `json:"dense,omitempty"`
+	// Metrics selects the collector mode: "exact" (default) or
+	// "stream".
+	Metrics string `json:"metrics,omitempty"`
+	// ShardWorkers sets Trial.ShardWorkers: OS threads advancing one
+	// trial's device shards in parallel (< 2 = sequential; output is
+	// identical for any value).
+	ShardWorkers int `json:"shard_workers,omitempty"`
+}
+
+// normalized is a validated request: the resolved builder, generated
+// task set and base trial, ready to be laid out as cells.
+type normalized struct {
+	req    TrialRequest
+	build  system.Builder
+	trial  system.Trial
+	trials int
+}
+
+// normalize applies CLI defaults and validates the request into an
+// executable form. Validation errors are client errors (HTTP 400).
+func normalize(req TrialRequest) (*normalized, error) {
+	if req.System == "" {
+		req.System = "ioguard-70"
+	}
+	if req.VMs == 0 {
+		req.VMs = 4
+	}
+	if req.Util == 0 {
+		req.Util = 0.7
+	}
+	if req.Hyperperiods == 0 {
+		req.Hyperperiods = 3
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Trials == 0 {
+		req.Trials = 1
+	}
+	if req.Trials < 0 {
+		return nil, fmt.Errorf("trials must be positive (got %d)", req.Trials)
+	}
+	if req.Hyperperiods < 0 {
+		return nil, fmt.Errorf("hyperperiods must be positive (got %d)", req.Hyperperiods)
+	}
+	if req.ShardWorkers < 0 {
+		return nil, fmt.Errorf("shard_workers must be non-negative (got %d)", req.ShardWorkers)
+	}
+	build, err := experiments.BuilderFor(req.System)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := system.ParseMetricsMode(req.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := workload.Generate(workload.Config{VMs: req.VMs, TargetUtil: req.Util, Seed: req.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &normalized{
+		req:   req,
+		build: build,
+		trial: system.Trial{
+			VMs:          req.VMs,
+			Tasks:        ts,
+			Horizon:      ts.Hyperperiod() * slot.Time(req.Hyperperiods),
+			Seed:         req.Seed,
+			Dense:        req.Dense,
+			Metrics:      mode,
+			ShardWorkers: req.ShardWorkers,
+		},
+		trials: req.Trials,
+	}, nil
+}
+
+// cells lays the request out as runner cells: a single trial is one
+// cell at the base seed (matching ioguard-sim's single-trial path); a
+// sweep follows system.SweepCells' seed schedule exactly.
+func (n *normalized) cells() []system.Cell {
+	if n.trials == 1 {
+		return []system.Cell{{Build: n.build, Trial: n.trial}}
+	}
+	return system.SweepCells(n.build, n.trial, n.trials)
+}
+
+// TrialResponse is one NDJSON line of a streamed trial execution.
+type TrialResponse struct {
+	System string `json:"system"`
+	Index  int    `json:"index"`
+	Seed   int64  `json:"seed"`
+
+	Completed      int64   `json:"completed"`
+	BytesServed    int64   `json:"bytes_served"`
+	CriticalMisses int64   `json:"critical_misses"`
+	OtherMisses    int64   `json:"other_misses"`
+	Unfinished     int64   `json:"unfinished"`
+	Dropped        int64   `json:"dropped"`
+	Success        bool    `json:"success"`
+	ThroughputMBps float64 `json:"throughput_mbps"`
+	ResponseMean   float64 `json:"response_mean_slots"`
+	ResponseP99    float64 `json:"response_p99_slots"`
+
+	// Rendered is the trial's metrics block exactly as ioguard-sim
+	// prints it (experiments.RenderTrial) — the byte-identical contract.
+	Rendered string `json:"rendered"`
+
+	// Timing is the server-side latency breakdown for this trial.
+	Timing Timing `json:"timing"`
+}
+
+// Timing is the per-trial server latency breakdown recorded by the
+// batcher.
+type Timing struct {
+	// QueueWaitMs is the time from admission to batch execution start.
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	// ExecMs is the wall-clock execution time of the batch that carried
+	// this trial.
+	ExecMs float64 `json:"exec_ms"`
+	// BatchSize is how many trials the carrying batch coalesced.
+	BatchSize int `json:"batch_size"`
+}
+
+// toResponse renders one finished trial.
+func toResponse(sys string, index int, seed int64, res *metrics.TrialResult, tm Timing) TrialResponse {
+	return TrialResponse{
+		System:         sys,
+		Index:          index,
+		Seed:           seed,
+		Completed:      res.Completed,
+		BytesServed:    res.BytesServed,
+		CriticalMisses: res.CriticalMisses,
+		OtherMisses:    res.OtherMisses,
+		Unfinished:     res.Unfinished,
+		Dropped:        res.Dropped,
+		Success:        res.Success(),
+		ThroughputMBps: res.ThroughputMBps(),
+		ResponseMean:   res.Response.Mean(),
+		ResponseP99:    res.Response.Percentile(99),
+		Rendered:       experiments.RenderTrial(sys, res),
+		Timing:         tm,
+	}
+}
+
+// SweepStatus is the body of GET /v1/sweeps/{id}: the job's lifecycle
+// state and, once done, the rendered aggregate.
+type SweepStatus struct {
+	ID        string  `json:"id"`
+	State     string  `json:"state"` // queued | running | done | failed
+	System    string  `json:"system"`
+	Trials    int     `json:"trials"`
+	Completed int     `json:"completed"`
+	Error     string  `json:"error,omitempty"`
+	Aggregate *SweepAggregate `json:"aggregate,omitempty"`
+}
+
+// SweepAggregate summarizes a finished sweep.
+type SweepAggregate struct {
+	Trials         int     `json:"trials"`
+	Successes      int     `json:"successes"`
+	SuccessRatio   float64 `json:"success_ratio"`
+	ThroughputMean float64 `json:"throughput_mean_mbps"`
+	ThroughputSD   float64 `json:"throughput_sd_mbps"`
+	MissesMean     float64 `json:"misses_mean"`
+	MissesMax      float64 `json:"misses_max"`
+	// Rendered is the aggregate block exactly as ioguard-sim's
+	// -trials N mode prints it (experiments.RenderAggregate).
+	Rendered string `json:"rendered"`
+}
+
+func toAggregate(sys string, agg *metrics.Aggregate) *SweepAggregate {
+	return &SweepAggregate{
+		Trials:         agg.Trials,
+		Successes:      agg.Successes,
+		SuccessRatio:   agg.SuccessRatio(),
+		ThroughputMean: agg.Throughput.Mean(),
+		ThroughputSD:   agg.Throughput.StdDev(),
+		MissesMean:     agg.Misses.Mean(),
+		MissesMax:      agg.Misses.Max(),
+		Rendered:       experiments.RenderAggregate(sys, agg),
+	}
+}

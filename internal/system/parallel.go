@@ -116,18 +116,27 @@ func trialSeed(base int64, trial int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// ParallelSweep is Sweep across a worker pool: `trials` independent
-// seeds of one configuration run on `workers` goroutines (≤ 0 =
-// GOMAXPROCS) and are folded into the aggregate in trial order, so
-// the result is identical for any worker count.
-func ParallelSweep(build Builder, tr Trial, trials, workers int) (*metrics.Aggregate, error) {
+// SweepCells lays out the cells of one sweep: trial i runs the base
+// trial with the SplitMix64-mixed seed of (tr.Seed, i). Exported so
+// external executors — the trial server's batcher and job runner —
+// reproduce ParallelSweep's exact seed schedule and fold order, which
+// is what makes a server-executed sweep byte-identical to the CLI.
+func SweepCells(build Builder, tr Trial, trials int) []Cell {
 	cells := make([]Cell, 0, trials)
 	for i := 0; i < trials; i++ {
 		t := tr
 		t.Seed = trialSeed(tr.Seed, i)
 		cells = append(cells, Cell{Build: build, Trial: t})
 	}
-	results, err := RunCells(cells, workers)
+	return cells
+}
+
+// ParallelSweep is Sweep across a worker pool: `trials` independent
+// seeds of one configuration run on `workers` goroutines (≤ 0 =
+// GOMAXPROCS) and are folded into the aggregate in trial order, so
+// the result is identical for any worker count.
+func ParallelSweep(build Builder, tr Trial, trials, workers int) (*metrics.Aggregate, error) {
+	results, err := RunCells(SweepCells(build, tr, trials), workers)
 	if err != nil {
 		return nil, err
 	}
