@@ -323,6 +323,17 @@ func BenchmarkRunSparse(b *testing.B) { benchSuite(b, "RunSparse") }
 // wall-clock speedup on top (only visible on multi-core hosts).
 func BenchmarkRunSkewed(b *testing.B) { benchSuite(b, "RunSkewed") }
 
+// BenchmarkRunSkewedLegacy and BenchmarkRunSkewedRTXen measure the
+// same skew cell on the mesh-coupled baselines, whose transports now
+// run as two boundary-horizon regions (processor band / device row).
+// The fastforward variant forces the pre-split single-clock
+// fast-forward — the busy CAN station pins all 25 routers dense — so
+// parshard/fastforward is the region split's algorithmic win: only
+// the device row steps densely while the processor band skips.
+func BenchmarkRunSkewedLegacy(b *testing.B) { benchSuite(b, "RunSkewedLegacy") }
+
+func BenchmarkRunSkewedRTXen(b *testing.B) { benchSuite(b, "RunSkewedRTXen") }
+
 // BenchmarkCaseStudyShardPar measures a trimmed case-study sweep with
 // intra-trial shard parallelism as the only concurrency (trial-level
 // pool pinned to one worker).

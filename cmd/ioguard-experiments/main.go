@@ -22,7 +22,6 @@ import (
 	"ioguard/internal/cliflags"
 	"ioguard/internal/experiments"
 	"ioguard/internal/footprint"
-	"ioguard/internal/system"
 )
 
 func main() {
@@ -42,28 +41,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, r.Workers, *dense, r.Metrics, r.ShardWorkers); err != nil {
+	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, *dense, r); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, trials, hps, maxEta int, util float64, seed int64, workers int, dense bool, mode system.MetricsMode, shardWorkers int) error {
+func run(exp string, trials, hps, maxEta int, util float64, seed int64, dense bool, ec cliflags.Resolved) error {
+	workers := ec.Workers
 	switch exp {
 	case "fig6":
 		return fig6()
 	case "table1":
 		return table1()
 	case "fig7a":
-		return fig7(4, trials, hps, seed, workers, dense, mode, shardWorkers)
+		return fig7(4, trials, hps, seed, dense, ec)
 	case "fig7b":
-		return fig7(8, trials, hps, seed, workers, dense, mode, shardWorkers)
+		return fig7(8, trials, hps, seed, dense, ec)
 	case "fig7c":
 		// Fig. 7(c) shares the sweep; print both VM groups' throughput.
-		if err := fig7(4, trials, hps, seed, workers, dense, mode, shardWorkers); err != nil {
+		if err := fig7(4, trials, hps, seed, dense, ec); err != nil {
 			return err
 		}
-		return fig7(8, trials, hps, seed, workers, dense, mode, shardWorkers)
+		return fig7(8, trials, hps, seed, dense, ec)
 	case "fig8":
 		return fig8(maxEta)
 	case "ablation":
@@ -79,10 +79,10 @@ func run(exp string, trials, hps, maxEta int, util float64, seed int64, workers 
 		if err := table1(); err != nil {
 			return err
 		}
-		if err := fig7(4, trials, hps, seed, workers, dense, mode, shardWorkers); err != nil {
+		if err := fig7(4, trials, hps, seed, dense, ec); err != nil {
 			return err
 		}
-		if err := fig7(8, trials, hps, seed, workers, dense, mode, shardWorkers); err != nil {
+		if err := fig7(8, trials, hps, seed, dense, ec); err != nil {
 			return err
 		}
 		return fig8(maxEta)
@@ -112,16 +112,18 @@ func table1() error {
 	return nil
 }
 
-func fig7(vms, trials, hps int, seed int64, workers int, dense bool, mode system.MetricsMode, shardWorkers int) error {
+func fig7(vms, trials, hps int, seed int64, dense bool, ec cliflags.Resolved) error {
 	points, err := experiments.CaseStudy(experiments.CaseStudyConfig{
 		VMs:          vms,
 		Trials:       trials,
 		HyperPeriods: hps,
 		Seed:         seed,
-		Workers:      workers,
+		Workers:      ec.Workers,
 		Dense:        dense,
-		Metrics:      mode,
-		ShardWorkers: shardWorkers,
+		Metrics:      ec.Metrics,
+		ShardWorkers: ec.ShardWorkers,
+		DrainMin:     ec.DrainMin,
+		DrainMax:     ec.DrainMax,
 	})
 	if err != nil {
 		return err

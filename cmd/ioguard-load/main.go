@@ -125,6 +125,8 @@ func main() {
 			},
 			DefaultMetrics:      r.Metrics.String(),
 			DefaultShardWorkers: r.ShardWorkers,
+			DefaultDrainMin:     r.DrainMin,
+			DefaultDrainMax:     r.DrainMax,
 		})
 		ts := httptest.NewServer(srv.Handler())
 		defer func() { ts.Close(); srv.Close() }()

@@ -68,6 +68,8 @@ func main() {
 		RetryAfter:          *retryAfter,
 		DefaultMetrics:      r.Metrics.String(),
 		DefaultShardWorkers: r.ShardWorkers,
+		DefaultDrainMin:     r.DrainMin,
+		DefaultDrainMax:     r.DrainMax,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -72,13 +72,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
 		os.Exit(1)
 	}
-	if err := run(os.Stdout, *sysName, *vms, *util, *hps, *seed, *trials, r.Workers, *gantt, *csvPath, *byTask, *dense, r.Metrics, r.ShardWorkers); err != nil {
+	if err := run(os.Stdout, *sysName, *vms, *util, *hps, *seed, *trials, *gantt, *csvPath, *byTask, *dense, r); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, sysName string, vms int, util float64, hps int, seed int64, trials, workers, gantt int, csvPath string, byTask, dense bool, mode system.MetricsMode, shardWorkers int) (err error) {
+func run(out io.Writer, sysName string, vms int, util float64, hps int, seed int64, trials, gantt int, csvPath string, byTask, dense bool, ec cliflags.Resolved) (err error) {
+	mode := ec.Metrics
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
 		return err
@@ -87,7 +88,7 @@ func run(out io.Writer, sysName string, vms int, util float64, hps int, seed int
 		len(ts), formatUtil(workload.DeviceUtilization(ts)), ts.Hyperperiod())
 
 	if trials > 1 {
-		return runSweep(out, sysName, vms, util, hps, seed, trials, workers, dense, mode, shardWorkers)
+		return runSweep(out, sysName, vms, util, hps, seed, trials, dense, ec)
 	}
 
 	// Trace plumbing. The buffered Recorder backs -gantt (it renders
@@ -152,7 +153,9 @@ func run(out io.Writer, sysName string, vms int, util float64, hps int, seed int
 		Seed:         seed,
 		Dense:        dense,
 		Metrics:      mode,
-		ShardWorkers: shardWorkers,
+		ShardWorkers: ec.ShardWorkers,
+		DrainMin:     ec.DrainMin,
+		DrainMax:     ec.DrainMax,
 	})
 	if err != nil {
 		return err
@@ -195,7 +198,7 @@ func run(out io.Writer, sysName string, vms int, util float64, hps int, seed int
 
 // runSweep repeats the trial across independent release seeds on the
 // deterministic worker pool and prints the aggregate.
-func runSweep(out io.Writer, sysName string, vms int, util float64, hps int, seed int64, trials, workers int, dense bool, mode system.MetricsMode, shardWorkers int) error {
+func runSweep(out io.Writer, sysName string, vms int, util float64, hps int, seed int64, trials int, dense bool, ec cliflags.Resolved) error {
 	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
 	if err != nil {
 		return err
@@ -210,9 +213,11 @@ func runSweep(out io.Writer, sysName string, vms int, util float64, hps int, see
 		Horizon:      ts.Hyperperiod() * slot.Time(hps),
 		Seed:         seed,
 		Dense:        dense,
-		Metrics:      mode,
-		ShardWorkers: shardWorkers,
-	}, trials, workers)
+		Metrics:      ec.Metrics,
+		ShardWorkers: ec.ShardWorkers,
+		DrainMin:     ec.DrainMin,
+		DrainMax:     ec.DrainMax,
+	}, trials, ec.Workers)
 	if err != nil {
 		return err
 	}

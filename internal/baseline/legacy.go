@@ -71,8 +71,10 @@ func (l *Legacy) Submit(now slot.Time, j *task.Job) {
 	l.pending.Push(now+l.path.Request, j)
 }
 
-// Step injects due requests and advances the mesh and controllers.
-func (l *Legacy) Step(now slot.Time) {
+// injectDue injects every pending request whose kernel path has
+// completed — the guest-side half of Step, shared with the processor
+// region shard (guestPipe).
+func (l *Legacy) injectDue(now slot.Time) {
 	for {
 		_, at, j, ok := l.pending.Min()
 		if !ok || at > now {
@@ -81,6 +83,31 @@ func (l *Legacy) Step(now slot.Time) {
 		l.pending.PopMin()
 		l.t.sendRequest(now, j)
 	}
+}
+
+// pipeNextWork implements guestPipe: the earliest scheduled request
+// injection, or slot.Never.
+func (l *Legacy) pipeNextWork(now slot.Time) slot.Time {
+	if _, at, _, ok := l.pending.Min(); ok {
+		return at
+	}
+	return slot.Never
+}
+
+// nextEmit implements guestPipe: the head of the kernel-path queue is
+// the earliest scheduled injection; a job not yet submitted arrives
+// at slot ≥ pub and pays the request path, so pub+Request bounds it.
+func (l *Legacy) nextEmit(pub slot.Time) slot.Time {
+	e := pub + l.path.Request
+	if _, at, _, ok := l.pending.Min(); ok && at < e {
+		e = at
+	}
+	return e
+}
+
+// Step injects due requests and advances the mesh and controllers.
+func (l *Legacy) Step(now slot.Time) {
+	l.injectDue(now)
 	l.t.step(now)
 }
 
@@ -111,12 +138,17 @@ func (l *Legacy) SkipTo(from, to slot.Time) { l.t.skipTo(from, to) }
 // legacy system consumes every released job.
 func (l *Legacy) Devices() []string { return l.devices }
 
-// Shards implements system.ShardedSystem with a single shard: the
-// mesh couples every station bidirectionally (requests in, responses
-// out through shared routers), so stations cannot run on decoupled
-// clocks — but the one shard still benefits from release horizons and
-// the mesh transit fast-forward.
-func (l *Legacy) Shards() []system.Shard { return []system.Shard{l} }
+// Shards implements system.ShardedSystem with two region shards: the
+// processor band (kernel path + request injection + response ejection)
+// and the device row (stations), coupled only through the mesh's
+// boundary-flit horizons. Falls back to the monolithic single shard
+// if the region split is unavailable.
+func (l *Legacy) Shards() []system.Shard {
+	if sh := l.t.regionShards(l, l.devices, l.Submit); sh != nil {
+		return sh
+	}
+	return []system.Shard{l}
+}
 
 // Pending visits jobs still inside the system.
 func (l *Legacy) Pending(visit func(j *task.Job)) {
@@ -127,5 +159,7 @@ func (l *Legacy) Pending(visit func(j *task.Job)) {
 // Dropped returns jobs lost in transport.
 func (l *Legacy) Dropped() int64 { return l.t.dropped.Load() }
 
-// MeshStats exposes the NoC delivery statistics for inspection.
-func (l *Legacy) MeshStats() noc.Stats { return l.t.mesh.Stats() }
+// MeshStats exposes the NoC delivery statistics for inspection:
+// monolithic mesh counters merged with the region shards' (which are
+// individually atomic, so a concurrent snapshot is safe mid-run).
+func (l *Legacy) MeshStats() noc.Stats { return l.t.meshStats() }

@@ -105,8 +105,9 @@ func (x *RTXen) Submit(now slot.Time, j *task.Job) {
 	x.pending.Push(at, j)
 }
 
-// Step advances the VMM pipeline, then the mesh and controllers.
-func (x *RTXen) Step(now slot.Time) {
+// injectDue advances the VMM pipeline at slot now — the guest-side
+// half of Step, shared with the processor region shard (guestPipe).
+func (x *RTXen) injectDue(now slot.Time) {
 	// Trapped requests reach their VM's backend queue.
 	for {
 		_, at, j, ok := x.pending.Min()
@@ -139,6 +140,67 @@ func (x *RTXen) Step(now slot.Time) {
 			x.vmmBusyAt = now + x.path.VMMRequest
 		}
 	}
+}
+
+// pipeNextWork implements guestPipe: now while any backend queue
+// holds work, vmmBusyAt for an operation inside the serialized
+// backend, the head arrival slot for guest-side requests.
+func (x *RTXen) pipeNextWork(now slot.Time) slot.Time {
+	next := slot.Never
+	if x.vmmJob != nil {
+		if x.vmmBusyAt <= now {
+			return now
+		}
+		next = x.vmmBusyAt
+	}
+	for _, q := range x.vmmQueues {
+		if q.Len() > 0 {
+			return now
+		}
+	}
+	if _, at, _, ok := x.pending.Min(); ok && at < next {
+		next = at
+	}
+	return next
+}
+
+// nextEmit implements guestPipe, lower-bounding the next request
+// injection: the backend's current operation injects when it
+// completes (vmmBusyAt, clamped to pub); a queued operation first
+// pays the backend service; a guest-side request additionally waits
+// for its VMM arrival slot; a job not yet submitted arrives at slot
+// ≥ pub and pays the full software path.
+func (x *RTXen) nextEmit(pub slot.Time) slot.Time {
+	e := pub + x.path.Request + x.path.VMMRequest
+	if x.vmmJob != nil {
+		c := x.vmmBusyAt
+		if c < pub {
+			c = pub
+		}
+		if c < e {
+			e = c
+		}
+	} else {
+		for _, q := range x.vmmQueues {
+			if q.Len() > 0 {
+				if c := pub + x.path.VMMRequest; c < e {
+					e = c
+				}
+				break
+			}
+		}
+	}
+	if _, at, _, ok := x.pending.Min(); ok {
+		if c := at + x.path.VMMRequest; c < e {
+			e = c
+		}
+	}
+	return e
+}
+
+// Step advances the VMM pipeline, then the mesh and controllers.
+func (x *RTXen) Step(now slot.Time) {
+	x.injectDue(now)
 	x.t.step(now)
 }
 
@@ -151,26 +213,10 @@ func (x *RTXen) NextWork(now slot.Time) slot.Time {
 	if next <= now {
 		return now
 	}
-	if x.vmmJob != nil {
-		if x.vmmBusyAt <= now {
-			return now
-		}
-		if x.vmmBusyAt < next {
-			next = x.vmmBusyAt
-		}
-	}
-	for _, q := range x.vmmQueues {
-		if q.Len() > 0 {
-			return now
-		}
-	}
-	if _, at, _, ok := x.pending.Min(); ok {
-		if at <= now {
-			return now
-		}
-		if at < next {
-			next = at
-		}
+	if at := x.pipeNextWork(now); at <= now {
+		return now
+	} else if at < next {
+		next = at
 	}
 	return next
 }
@@ -184,11 +230,17 @@ func (x *RTXen) SkipTo(from, to slot.Time) { x.t.skipTo(from, to) }
 // RT-Xen system consumes every released job.
 func (x *RTXen) Devices() []string { return x.devices }
 
-// Shards implements system.ShardedSystem with a single shard: the
-// serialized VMM backend and the shared mesh couple every device, so
-// per-device clocks would be unsound here. The single shard still
-// gains the release-horizon and mesh-transit fast-forward.
-func (x *RTXen) Shards() []system.Shard { return []system.Shard{x} }
+// Shards implements system.ShardedSystem with two region shards: the
+// guest path and serialized VMM backend ride on the processor band,
+// the stations on the device row, coupled only through the mesh's
+// boundary-flit horizons. Falls back to the monolithic single shard
+// if the region split is unavailable.
+func (x *RTXen) Shards() []system.Shard {
+	if sh := x.t.regionShards(x, x.devices, x.Submit); sh != nil {
+		return sh
+	}
+	return []system.Shard{x}
+}
 
 // Pending visits jobs anywhere in the software or transport pipeline.
 func (x *RTXen) Pending(visit func(j *task.Job)) {

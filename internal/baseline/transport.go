@@ -7,6 +7,7 @@ package baseline
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"ioguard/internal/noc"
@@ -35,8 +36,34 @@ type meshTransport struct {
 	stations map[string]*station
 	devTile  map[string]packet.NodeID
 	tileDev  map[packet.NodeID]string
-	inflight map[jobKey]*task.Job
-	respCost slot.Time // software response-path cost at the processor
+	// inflight is touched from both region shards (the processor band
+	// inserts on request injection, the device row looks jobs up on
+	// request delivery); the mutex is uncontended in monolithic runs.
+	inflightMu sync.Mutex
+	inflight   map[jobKey]*task.Job
+	respCost   slot.Time // software response-path cost at the processor
+
+	// Region mode (engaged by regionShards): the mesh is partitioned
+	// into the processor band and the device row, each advancing on its
+	// own virtual clock with boundary-flit horizons. The injector
+	// indirection lets sendRequest/sendResponse target whichever view
+	// of the mesh is live; monolithic runs keep mesh.Inject. regions is
+	// atomic so a stats snapshot may race the Shards() call that
+	// engages region mode.
+	regions    atomic.Pointer[[]*noc.Region]
+	shards     []system.Shard
+	reqInject  func(now slot.Time, p *packet.Packet) bool
+	respInject func(now slot.Time, p *packet.Packet) bool
+	// psink, when set by the parallel executor, receives completions
+	// instead of the collector. Only the processor shard's goroutine
+	// calls it.
+	psink func(j *task.Job, at slot.Time)
+	// respond routes a station's completion toward the NoC. Monolithic
+	// runs inject immediately (the mesh step for this slot already
+	// ran); the device shard instead stages the response and injects
+	// it after the next slot's boundary arrivals are applied, keeping
+	// the FIFO order of same-queue pushes identical to a dense run.
+	respond func(dev string, j *task.Job, finished slot.Time)
 	// dropped counts jobs lost in transport (unknown device, full
 	// injection queue, unmatched delivery). Atomic: the Legacy/RT-Xen
 	// transports run single-shard today, but the counter is reachable
@@ -74,7 +101,7 @@ func newMeshTransport(vms int, devices []string, col *system.Collector, respCost
 		t.tileDev[tile] = dev
 		devName := dev
 		st, err := newStation(dev, globalFIFO, vms, controllerSetupSlots, func(j *task.Job, finished slot.Time) {
-			t.sendResponse(devName, j, finished)
+			t.respond(devName, j, finished)
 		})
 		if err != nil {
 			return nil, err
@@ -82,6 +109,9 @@ func newMeshTransport(vms int, devices []string, col *system.Collector, respCost
 		t.stations[dev] = st
 	}
 	mesh.OnDeliver = t.onDeliver
+	t.reqInject = mesh.Inject
+	t.respInject = mesh.Inject
+	t.respond = t.sendResponse
 	return t, nil
 }
 
@@ -119,9 +149,13 @@ func (t *meshTransport) sendRequest(now slot.Time, j *task.Job) {
 		Seq:      uint32(j.Seq),
 		Deadline: j.Deadline,
 	}, make([]byte, payload))
+	t.inflightMu.Lock()
 	t.inflight[key(j)] = j
-	if !t.mesh.Inject(now, p) {
+	t.inflightMu.Unlock()
+	if !t.reqInject(now, p) {
+		t.inflightMu.Lock()
 		delete(t.inflight, key(j))
+		t.inflightMu.Unlock()
 		t.dropped.Add(1)
 	}
 }
@@ -142,16 +176,27 @@ func (t *meshTransport) sendResponse(dev string, j *task.Job, finished slot.Time
 		Seq:      uint32(j.Seq),
 		Deadline: j.Deadline,
 	}, make([]byte, payload))
-	if !t.mesh.Inject(finished, p) {
+	if !t.respInject(finished, p) {
 		t.dropped.Add(1)
 	}
 }
 
 // onDeliver routes delivered packets: requests into the device
 // station, responses to the collector.
+// debugDeliver, when set, observes every packet delivery (test hook).
+var debugDeliver func(kind packet.Kind, task uint16, seq uint32, injected, now slot.Time)
+
 func (t *meshTransport) onDeliver(p *packet.Packet, injected, now slot.Time) {
+	if debugDeliver != nil {
+		debugDeliver(p.Kind, p.Task, p.Seq, injected, now)
+	}
 	k := jobKey{task: p.Task, seq: p.Seq}
+	t.inflightMu.Lock()
 	j, ok := t.inflight[k]
+	if ok && p.Kind == packet.Response {
+		delete(t.inflight, k)
+	}
+	t.inflightMu.Unlock()
 	if !ok {
 		t.dropped.Add(1)
 		return
@@ -167,12 +212,13 @@ func (t *meshTransport) onDeliver(p *packet.Packet, injected, now slot.Time) {
 			t.dropped.Add(1)
 		}
 	case packet.Response:
-		delete(t.inflight, k)
 		at := now + 1 + t.respCost
 		if t.observe != nil {
 			at = t.observe(j.Task.VM, at)
 		}
-		if t.col != nil {
+		if t.psink != nil {
+			t.psink(j, at)
+		} else if t.col != nil {
 			t.col.Complete(j, at)
 		}
 	}
@@ -222,7 +268,62 @@ func (t *meshTransport) deviceNames() []string {
 
 // pendingJobs visits all in-flight jobs (in the mesh or at stations).
 func (t *meshTransport) pendingJobs(visit func(j *task.Job)) {
+	t.inflightMu.Lock()
+	defer t.inflightMu.Unlock()
 	for _, j := range t.inflight {
 		visit(j)
 	}
+}
+
+// meshStats merges the monolithic mesh counters with the per-region
+// ones. Exactly one view carries traffic per trial (dense runs use
+// the mesh, sharded runs the regions), so the merge is a plain sum.
+func (t *meshTransport) meshStats() noc.Stats {
+	s := t.mesh.Stats()
+	if rp := t.regions.Load(); rp != nil {
+		for _, r := range *rp {
+			s = s.Merge(r.Stats())
+		}
+	}
+	return s
+}
+
+// regionShards partitions the transport for multi-shard execution:
+// the processor band (rows 0..H-2, where requests originate and
+// responses eject) and the device row (row H-1, stations included)
+// each become one shard over a noc.Region. Injectors are rebound to
+// the regions — safe because system.Run only calls Shards() on the
+// non-dense path, and a system instance drives exactly one trial.
+func (t *meshTransport) regionShards(pipe guestPipe, devices []string, submit func(now slot.Time, j *task.Job)) []system.Shard {
+	if t.shards != nil {
+		return t.shards
+	}
+	cfg := t.mesh.Config()
+	regions, err := noc.Regions(cfg, []int{cfg.Height - 1, 1})
+	if err != nil {
+		// cfg came from a validated mesh, so this cannot happen; fall
+		// back to the monolithic single-shard path rather than panic.
+		return nil
+	}
+	proc, dev := regions[0], regions[1]
+	proc.OnDeliver = t.onDeliver
+	dev.OnDeliver = t.onDeliver
+	// The device row consumes delivered requests and its stations emit
+	// responses back toward the processor band: same-side feedback the
+	// region's horizon accounting must know about.
+	dev.Loopback = true
+	t.regions.Store(&regions)
+	t.reqInject = proc.Inject
+	t.respInject = dev.Inject
+	stations := make([]*station, 0, len(t.stations))
+	for _, name := range t.deviceNames() {
+		stations = append(stations, t.stations[name])
+	}
+	ds := &devShard{t: t, r: dev, stations: stations}
+	t.respond = ds.stageResponse
+	t.shards = []system.Shard{
+		&procShard{t: t, r: proc, pipe: pipe, devices: devices, submit: submit},
+		ds,
+	}
+	return t.shards
 }

@@ -261,6 +261,54 @@ func runSkewed(b *testing.B, variant string) {
 	}
 }
 
+// runSkewedBaseline drives the skewed cell on a mesh-coupled baseline
+// (legacy | rtxen). The fastforward variant hides the region shards
+// behind globalMinSystem — the pre-split single-clock fast-forward,
+// where the busy CAN station pins all 25 routers to dense stepping.
+// parshard engages the region shards across parShardWorkers() threads,
+// so the pairing's ratio is the region split's win: only the device
+// row (5 routers plus stations) steps densely while the processor band
+// fast-forwards between its own injections.
+func runSkewedBaseline(b *testing.B, sysName, variant string) {
+	tr, err := skewedWorkload()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if variant == "parshard" {
+		tr.ShardWorkers = parShardWorkers()
+	}
+	inner, err := experiments.BuilderFor(sysName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := inner
+	if variant == "fastforward" {
+		build = func(tr system.Trial, col *system.Collector) (system.System, error) {
+			sys, err := inner(tr, col)
+			if err != nil {
+				return nil, err
+			}
+			q, ok := sys.(sim.Quiescer)
+			if !ok {
+				return nil, fmt.Errorf("benchsuite: %s lacks the global fast-forward", sysName)
+			}
+			sk, _ := sys.(sim.Skipper)
+			return &globalMinSystem{System: sys, q: q, sk: sk}, nil
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := system.Run(build, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed == 0 {
+			b.Fatal("trial completed no jobs")
+		}
+	}
+}
+
 // caseStudyShardPar runs a trimmed Fig. 7 sweep with each trial's
 // device shards fanned across OS threads (and the trial-level pool
 // pinned to one worker, so intra-trial parallelism is the only
@@ -365,6 +413,14 @@ func Specs() []Spec {
 			Bench: func(b *testing.B) { runSkewed(b, "fastforward") }},
 		{Name: "RunSkewed/parshard", SlotsPerOp: skewedSlotsPerOp(),
 			Bench: func(b *testing.B) { runSkewed(b, "parshard") }},
+		{Name: "RunSkewedLegacy/fastforward", SlotsPerOp: skewedSlotsPerOp(),
+			Bench: func(b *testing.B) { runSkewedBaseline(b, "legacy", "fastforward") }},
+		{Name: "RunSkewedLegacy/parshard", SlotsPerOp: skewedSlotsPerOp(),
+			Bench: func(b *testing.B) { runSkewedBaseline(b, "legacy", "parshard") }},
+		{Name: "RunSkewedRTXen/fastforward", SlotsPerOp: skewedSlotsPerOp(),
+			Bench: func(b *testing.B) { runSkewedBaseline(b, "rtxen", "fastforward") }},
+		{Name: "RunSkewedRTXen/parshard", SlotsPerOp: skewedSlotsPerOp(),
+			Bench: func(b *testing.B) { runSkewedBaseline(b, "rtxen", "parshard") }},
 		{Name: "CaseStudyShardPar", SlotsPerOp: 0, Bench: caseStudyShardPar},
 		{Name: "PQChurn", SlotsPerOp: 0, Bench: pqChurn},
 		{Name: "CollectorComplete/exact", SlotsPerOp: 0,

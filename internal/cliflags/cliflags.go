@@ -32,6 +32,12 @@ type Exec struct {
 	// percentiles) or stream (bounded memory, ε-approximate
 	// percentiles).
 	Metrics string
+	// DrainMin/DrainMax bound the sharded runner's adaptive release-
+	// drain budget (system.Trial.DrainMin/DrainMax); 0 keeps the
+	// built-in bounds. Output is identical for any valid pair — the
+	// budget only sizes conservative fast-forward horizons.
+	DrainMin int
+	DrainMax int
 }
 
 // Resolved is a validated execution configuration.
@@ -39,6 +45,8 @@ type Resolved struct {
 	Workers      int
 	ShardWorkers int
 	Metrics      system.MetricsMode
+	DrainMin     int
+	DrainMax     int
 }
 
 // Register installs the shared flags on fs with the canonical names,
@@ -52,6 +60,10 @@ func Register(fs *flag.FlagSet) *Exec {
 		"OS threads advancing one trial's device shards in parallel (< 2 = sequential; output is identical for any value)")
 	fs.StringVar(&e.Metrics, "metrics", system.MetricsExact.String(),
 		"collector mode: exact (buffered, exact percentiles) or stream (bounded memory, ε-approximate percentiles)")
+	fs.IntVar(&e.DrainMin, "drain-min", 0,
+		"lower bound on the sharded runner's adaptive release-drain budget (0 = built-in; output is identical for any value)")
+	fs.IntVar(&e.DrainMax, "drain-max", 0,
+		"upper bound on the sharded runner's adaptive release-drain budget (0 = built-in; output is identical for any value)")
 	return e
 }
 
@@ -60,15 +72,22 @@ func RegisterDefault() *Exec { return Register(flag.CommandLine) }
 
 // Resolve validates the raw values: workers ≤ 0 resolves to
 // runtime.GOMAXPROCS(0) (matching system.RunCells), negative
-// shard-workers are rejected, and the metrics spelling is parsed
-// through the single system.ParseMetricsMode entry point.
+// shard-workers and drain bounds are rejected (as is an inverted
+// min/max pair), and the metrics spelling is parsed through the single
+// system.ParseMetricsMode entry point.
 func (e *Exec) Resolve() (Resolved, error) {
-	r := Resolved{Workers: e.Workers, ShardWorkers: e.ShardWorkers}
+	r := Resolved{Workers: e.Workers, ShardWorkers: e.ShardWorkers, DrainMin: e.DrainMin, DrainMax: e.DrainMax}
 	if r.Workers <= 0 {
 		r.Workers = runtime.GOMAXPROCS(0)
 	}
 	if r.ShardWorkers < 0 {
 		return Resolved{}, fmt.Errorf("cliflags: negative -shard-workers %d", e.ShardWorkers)
+	}
+	if r.DrainMin < 0 || r.DrainMax < 0 {
+		return Resolved{}, fmt.Errorf("cliflags: negative drain bound (-drain-min %d, -drain-max %d)", e.DrainMin, e.DrainMax)
+	}
+	if r.DrainMin > 0 && r.DrainMax > 0 && r.DrainMin > r.DrainMax {
+		return Resolved{}, fmt.Errorf("cliflags: -drain-min %d exceeds -drain-max %d", e.DrainMin, e.DrainMax)
 	}
 	mode, err := system.ParseMetricsMode(e.Metrics)
 	if err != nil {

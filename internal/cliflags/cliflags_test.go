@@ -27,12 +27,15 @@ func TestRegisterDefaults(t *testing.T) {
 	if r.Metrics != system.MetricsExact {
 		t.Errorf("default metrics = %v, want exact", r.Metrics)
 	}
+	if r.DrainMin != 0 || r.DrainMax != 0 {
+		t.Errorf("default drain bounds = (%d, %d), want (0, 0) = built-in", r.DrainMin, r.DrainMax)
+	}
 }
 
 func TestResolveParsesAndValidates(t *testing.T) {
 	fs := flag.NewFlagSet("x", flag.ContinueOnError)
 	e := Register(fs)
-	if err := fs.Parse([]string{"-workers", "3", "-shard-workers", "2", "-metrics", "stream"}); err != nil {
+	if err := fs.Parse([]string{"-workers", "3", "-shard-workers", "2", "-metrics", "stream", "-drain-min", "128", "-drain-max", "8192"}); err != nil {
 		t.Fatal(err)
 	}
 	r, err := e.Resolve()
@@ -42,6 +45,9 @@ func TestResolveParsesAndValidates(t *testing.T) {
 	if r.Workers != 3 || r.ShardWorkers != 2 || r.Metrics != system.MetricsStream {
 		t.Errorf("resolved %+v", r)
 	}
+	if r.DrainMin != 128 || r.DrainMax != 8192 {
+		t.Errorf("resolved drain bounds (%d, %d), want (128, 8192)", r.DrainMin, r.DrainMax)
+	}
 }
 
 func TestResolveRejectsBadValues(t *testing.T) {
@@ -50,6 +56,22 @@ func TestResolveRejectsBadValues(t *testing.T) {
 	}
 	if _, err := (&Exec{ShardWorkers: -1, Metrics: "exact"}).Resolve(); err == nil {
 		t.Error("negative shard-workers accepted")
+	}
+	if _, err := (&Exec{Metrics: "exact", DrainMin: -1}).Resolve(); err == nil {
+		t.Error("negative drain-min accepted")
+	}
+	if _, err := (&Exec{Metrics: "exact", DrainMax: -8}).Resolve(); err == nil {
+		t.Error("negative drain-max accepted")
+	}
+	if _, err := (&Exec{Metrics: "exact", DrainMin: 512, DrainMax: 64}).Resolve(); err == nil {
+		t.Error("inverted drain bounds accepted")
+	}
+	// A one-sided bound is valid: the other side keeps its built-in.
+	if _, err := (&Exec{Metrics: "exact", DrainMin: 512}).Resolve(); err != nil {
+		t.Errorf("one-sided drain-min rejected: %v", err)
+	}
+	if _, err := (&Exec{Metrics: "exact", DrainMax: 512}).Resolve(); err != nil {
+		t.Errorf("one-sided drain-max rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"ioguard/internal/system"
+	"ioguard/internal/workload"
+)
+
+// TestDrainBoundsEquivalence pins the adaptive drain budget's
+// correctness claim: the budget (and the epoch spans it interacts
+// with) only sizes conservative fast-forward horizons, so pinning it
+// to its extremes — a single-slot budget that exhausts on every dense
+// stretch, and a budget wider than any workload burst — must leave
+// every system's results byte-identical to a dense run, sequential and
+// parallel alike.
+func TestDrainBoundsEquivalence(t *testing.T) {
+	ts, err := workload.Generate(workload.Config{VMs: 3, TargetUtil: 0.75, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := system.Trial{VMs: 3, Tasks: ts, Horizon: ts.Hyperperiod() * 2, Seed: 31}
+	builders := Builders()
+	for _, name := range SystemNames() {
+		build := builders[name]
+		t.Run(name, func(t *testing.T) {
+			tr := base
+			tr.Dense = true
+			dense, err := system.Run(build, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, bounds := range []struct{ min, max int }{
+				{1, 1},
+				{1 << 16, 1 << 16},
+				{8, 1 << 16},
+			} {
+				tr := base
+				tr.DrainMin, tr.DrainMax = bounds.min, bounds.max
+				for _, workers := range []int{0, 2} {
+					tr.ShardWorkers = workers
+					t.Run(fmt.Sprintf("drain=%d..%d/w%d", bounds.min, bounds.max, workers), func(t *testing.T) {
+						got, err := system.Run(build, tr)
+						if err != nil {
+							t.Fatal(err)
+						}
+						requireEqual(t, dense, got)
+					})
+				}
+			}
+		})
+	}
+}

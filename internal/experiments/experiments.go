@@ -102,6 +102,11 @@ type CaseStudyConfig struct {
 	// mode just bounds per-trial collector memory (enforced by the CI
 	// cmp job).
 	Metrics system.MetricsMode
+	// DrainMin/DrainMax bound each trial's adaptive release-drain
+	// budget (system.Trial.DrainMin/DrainMax); 0 keeps the built-in
+	// bounds. Like ShardWorkers, the knobs never change output.
+	DrainMin int
+	DrainMax int
 }
 
 // trialSeed derives the per-(utilization, trial) seed. The
@@ -184,6 +189,8 @@ func CaseStudy(cfg CaseStudyConfig) ([]CaseStudyPoint, error) {
 					Dense:        cfg.Dense,
 					Metrics:      cfg.Metrics,
 					ShardWorkers: cfg.ShardWorkers,
+					DrainMin:     cfg.DrainMin,
+					DrainMax:     cfg.DrainMax,
 				}})
 			}
 		}

@@ -152,6 +152,73 @@ func DefaultConfig() Config {
 	return Config{Width: 5, Height: 5, FlitBytes: 4, HopLatency: 1, QueueDepth: 0}
 }
 
+// normalized applies the documented defaults to the zero-value fields.
+func (c Config) normalized() (Config, error) {
+	if c.Width <= 0 || c.Height <= 0 {
+		return c, fmt.Errorf("noc: invalid mesh %dx%d", c.Width, c.Height)
+	}
+	if c.FlitBytes <= 0 {
+		c.FlitBytes = 4
+	}
+	if c.HopLatency <= 0 {
+		c.HopLatency = 1
+	}
+	return c, nil
+}
+
+// newPktQueue builds the per-port waiting buffer for the configured
+// arbitration policy.
+func newPktQueue(c Config) pktQueue {
+	if c.Arbitration == DeadlineArbitration {
+		return prioPktQueue{q: queue.NewPQ[*flight](c.QueueDepth)}
+	}
+	return fifoPktQueue{q: queue.NewFIFO[*flight](c.QueueDepth)}
+}
+
+// coordAt returns the tile coordinate of router index ri under c.
+func coordAt(c Config, ri int) Coord {
+	return Coord{X: ri % c.Width, Y: ri / c.Width}
+}
+
+// routeXY returns the XY dimension-ordered next port from cur toward
+// dst.
+func routeXY(cur, dst Coord) Port {
+	switch {
+	case dst.X > cur.X:
+		return East
+	case dst.X < cur.X:
+		return West
+	case dst.Y > cur.Y:
+		return South
+	case dst.Y < cur.Y:
+		return North
+	default:
+		return Local
+	}
+}
+
+// linkSlotsFor returns how long one hop occupies a link for pkt under
+// c: serialization of all flits plus the router pipeline latency.
+func linkSlotsFor(c Config, pkt *packet.Packet) slot.Time {
+	return slot.Time(pkt.Flits(c.FlitBytes)) + c.HopLatency
+}
+
+// neighborIdx returns the router index one hop from ri through port.
+func neighborIdx(c Config, ri int, port Port) int {
+	switch port {
+	case East:
+		return ri + 1
+	case West:
+		return ri - 1
+	case South:
+		return ri + c.Width
+	case North:
+		return ri - c.Width
+	default:
+		return ri
+	}
+}
+
 // Stats aggregates delivery statistics.
 type Stats struct {
 	Injected   int64
@@ -161,6 +228,24 @@ type Stats struct {
 	MaxQueued  int   // deepest per-port backlog observed
 	TotalDelay slot.Time
 	MaxDelay   slot.Time
+}
+
+// Merge folds another snapshot into s: counters add, maxima take the
+// larger observation. It combines per-region statistics into one
+// mesh-wide view.
+func (s Stats) Merge(o Stats) Stats {
+	s.Injected += o.Injected
+	s.Delivered += o.Delivered
+	s.Dropped += o.Dropped
+	s.Forwarded += o.Forwarded
+	s.TotalDelay += o.TotalDelay
+	if o.MaxQueued > s.MaxQueued {
+		s.MaxQueued = o.MaxQueued
+	}
+	if o.MaxDelay > s.MaxDelay {
+		s.MaxDelay = o.MaxDelay
+	}
+	return s
 }
 
 // AvgDelay returns the mean injection-to-delivery latency in slots.
@@ -186,27 +271,16 @@ type Mesh struct {
 
 // New builds a mesh with the given configuration.
 func New(cfg Config) (*Mesh, error) {
-	if cfg.Width <= 0 || cfg.Height <= 0 {
-		return nil, fmt.Errorf("noc: invalid mesh %dx%d", cfg.Width, cfg.Height)
-	}
-	if cfg.FlitBytes <= 0 {
-		cfg.FlitBytes = 4
-	}
-	if cfg.HopLatency <= 0 {
-		cfg.HopLatency = 1
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
 	}
 	m := &Mesh{cfg: cfg}
-	newQueue := func() pktQueue {
-		if cfg.Arbitration == DeadlineArbitration {
-			return prioPktQueue{q: queue.NewPQ[*flight](cfg.QueueDepth)}
-		}
-		return fifoPktQueue{q: queue.NewFIFO[*flight](cfg.QueueDepth)}
-	}
 	for y := 0; y < cfg.Height; y++ {
 		for x := 0; x < cfg.Width; x++ {
 			r := &router{at: Coord{x, y}}
 			for p := range r.out {
-				r.out[p] = &outPort{waiting: newQueue()}
+				r.out[p] = &outPort{waiting: newPktQueue(cfg)}
 			}
 			m.routers = append(m.routers, r)
 		}
@@ -236,25 +310,12 @@ func (m *Mesh) valid(id packet.NodeID) bool {
 }
 
 // route returns the XY dimension-ordered next port from cur toward dst.
-func (m *Mesh) route(cur Coord, dst Coord) Port {
-	switch {
-	case dst.X > cur.X:
-		return East
-	case dst.X < cur.X:
-		return West
-	case dst.Y > cur.Y:
-		return South
-	case dst.Y < cur.Y:
-		return North
-	default:
-		return Local
-	}
-}
+func (m *Mesh) route(cur Coord, dst Coord) Port { return routeXY(cur, dst) }
 
 // linkSlots returns how long one hop occupies a link for pkt:
 // serialization of all flits plus the router pipeline latency.
 func (m *Mesh) linkSlots(pkt *packet.Packet) slot.Time {
-	return slot.Time(pkt.Flits(m.cfg.FlitBytes)) + m.cfg.HopLatency
+	return linkSlotsFor(m.cfg, pkt)
 }
 
 // Hops returns the XY route length between two nodes.
@@ -369,19 +430,7 @@ func (m *Mesh) deliver(fl *flight, now slot.Time) {
 
 // neighbor returns the router index one hop from ri through port.
 func (m *Mesh) neighbor(ri int, port Port) int {
-	w := m.cfg.Width
-	switch port {
-	case East:
-		return ri + 1
-	case West:
-		return ri - 1
-	case South:
-		return ri + w
-	case North:
-		return ri - w
-	default:
-		return ri
-	}
+	return neighborIdx(m.cfg, ri, port)
 }
 
 // InFlight returns the number of packets inside the NoC in O(1); it

@@ -48,6 +48,11 @@ type TrialRequest struct {
 	// trial's device shards in parallel (< 2 = sequential; output is
 	// identical for any value).
 	ShardWorkers int `json:"shard_workers,omitempty"`
+	// DrainMin/DrainMax bound the sharded runner's adaptive release-
+	// drain budget (Trial.DrainMin/DrainMax); 0 keeps the built-in
+	// bounds. Output is identical for any valid pair.
+	DrainMin int `json:"drain_min,omitempty"`
+	DrainMax int `json:"drain_max,omitempty"`
 }
 
 // normalized is a validated request: the resolved builder, generated
@@ -89,6 +94,12 @@ func normalize(req TrialRequest) (*normalized, error) {
 	if req.ShardWorkers < 0 {
 		return nil, fmt.Errorf("shard_workers must be non-negative (got %d)", req.ShardWorkers)
 	}
+	if req.DrainMin < 0 || req.DrainMax < 0 {
+		return nil, fmt.Errorf("drain bounds must be non-negative (got min %d, max %d)", req.DrainMin, req.DrainMax)
+	}
+	if req.DrainMin > 0 && req.DrainMax > 0 && req.DrainMin > req.DrainMax {
+		return nil, fmt.Errorf("drain_min %d exceeds drain_max %d", req.DrainMin, req.DrainMax)
+	}
 	build, err := experiments.BuilderFor(req.System)
 	if err != nil {
 		return nil, err
@@ -112,6 +123,8 @@ func normalize(req TrialRequest) (*normalized, error) {
 			Dense:        req.Dense,
 			Metrics:      mode,
 			ShardWorkers: req.ShardWorkers,
+			DrainMin:     req.DrainMin,
+			DrainMax:     req.DrainMax,
 		},
 		trials: req.Trials,
 	}, nil

@@ -32,11 +32,14 @@ type Config struct {
 	// RetryAfter is the hint returned with 429 responses (default
 	// 250ms; the header rounds up to whole seconds).
 	RetryAfter time.Duration
-	// DefaultMetrics and DefaultShardWorkers fill requests that omit
-	// the matching fields — the server-side halves of the shared
-	// -metrics / -shard-workers flags (internal/cliflags).
+	// DefaultMetrics, DefaultShardWorkers and DefaultDrainMin/Max fill
+	// requests that omit the matching fields — the server-side halves
+	// of the shared -metrics / -shard-workers / -drain-min / -drain-max
+	// flags (internal/cliflags).
 	DefaultMetrics      string
 	DefaultShardWorkers int
+	DefaultDrainMin     int
+	DefaultDrainMax     int
 }
 
 // Server is the trial service: a batcher for the synchronous path, a
@@ -133,6 +136,12 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*normali
 	}
 	if req.ShardWorkers == 0 {
 		req.ShardWorkers = s.cfg.DefaultShardWorkers
+	}
+	if req.DrainMin == 0 {
+		req.DrainMin = s.cfg.DefaultDrainMin
+	}
+	if req.DrainMax == 0 {
+		req.DrainMax = s.cfg.DefaultDrainMax
 	}
 	norm, err := normalize(req)
 	if err != nil {

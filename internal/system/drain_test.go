@@ -1,0 +1,88 @@
+package system
+
+import "testing"
+
+// TestDrainPolicyBounds pins newDrainPolicy's clamping: zero values
+// select the built-ins, explicit bounds clamp the historical seed, and
+// an inverted pair collapses to the lower bound.
+func TestDrainPolicyBounds(t *testing.T) {
+	p := newDrainPolicy(0, 0)
+	if p.min != drainChunkMin || p.max != drainChunkMax || p.chunk != drainChunkStart {
+		t.Errorf("built-in policy = %+v, want [%d, %d] seeded at %d", p, drainChunkMin, drainChunkMax, drainChunkStart)
+	}
+	if p = newDrainPolicy(2048, 4096); p.chunk != 2048 {
+		t.Errorf("seed below min not raised: %+v", p)
+	}
+	if p = newDrainPolicy(16, 256); p.chunk != 256 {
+		t.Errorf("seed above max not lowered: %+v", p)
+	}
+	if p = newDrainPolicy(512, 64); p.min != 512 || p.max != 512 || p.chunk != 512 {
+		t.Errorf("inverted pair not collapsed: %+v", p)
+	}
+	// One-sided bounds keep the other side's built-in.
+	if p = newDrainPolicy(128, 0); p.min != 128 || p.max != drainChunkMax {
+		t.Errorf("one-sided min = %+v", p)
+	}
+	if p = newDrainPolicy(0, 512); p.min != drainChunkMin || p.max != 512 {
+		t.Errorf("one-sided max = %+v", p)
+	}
+}
+
+// TestDrainPolicyAIMD pins the controller's trajectory: exhaustion
+// doubles up to max, a cheap search (≤ a quarter of the budget) decays
+// a quarter down to min, and a search that used real budget holds.
+func TestDrainPolicyAIMD(t *testing.T) {
+	p := newDrainPolicy(64, 4096)
+	for _, want := range []int{2048, 4096, 4096} {
+		p.grow()
+		if p.chunk != want {
+			t.Fatalf("grow → %d, want %d", p.chunk, want)
+		}
+	}
+	p.settle(p.chunk) // used the whole budget: no decay
+	if p.chunk != 4096 {
+		t.Fatalf("full-budget settle moved the chunk to %d", p.chunk)
+	}
+	p.settle(p.chunk / 4) // exactly a quarter still counts as cheap
+	if p.chunk != 3072 {
+		t.Fatalf("quarter-budget settle → %d, want 3072", p.chunk)
+	}
+	for i := 0; i < 64; i++ {
+		p.settle(0)
+	}
+	if p.chunk != 64 {
+		t.Fatalf("repeated decay landed at %d, want the floor 64", p.chunk)
+	}
+	p.settle(0)
+	if p.chunk != 64 {
+		t.Fatalf("decay broke the floor: %d", p.chunk)
+	}
+}
+
+// TestRunRejectsBadDrainBounds: negative or inverted Trial drain
+// bounds are configuration errors, caught before any work runs.
+func TestRunRejectsBadDrainBounds(t *testing.T) {
+	base := Trial{VMs: 2, Tasks: workload(), Horizon: 10}
+	for _, tc := range []struct {
+		name     string
+		min, max int
+		ok       bool
+	}{
+		{"negative-min", -1, 0, false},
+		{"negative-max", 0, -2, false},
+		{"inverted", 512, 64, false},
+		{"valid-pair", 64, 512, true},
+		{"one-sided-min", 512, 0, true},
+		{"one-sided-max", 0, 512, true},
+	} {
+		tr := base
+		tr.DrainMin, tr.DrainMax = tc.min, tc.max
+		_, err := Run(builder(1), tr)
+		if tc.ok && err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

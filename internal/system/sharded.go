@@ -56,13 +56,82 @@ type ParallelShard interface {
 	SetCompletionSink(sink func(j *task.Job, at slot.Time))
 }
 
-// drainChunk bounds how many release slots a single horizon query may
-// materialize while searching for the querying shard's next
-// submission. Hitting the bound returns the fleet cursor as a
-// conservative horizon instead — the shard advances there, re-queries,
-// and the search resumes — so a long-idle device never forces the
-// runner to buffer an unbounded prefix of a busy device's releases.
-const drainChunk = 1024
+// The adaptive drain budget bounds how many release slots a single
+// horizon query may materialize while searching for the querying
+// shard's next submission. Hitting the budget returns the fleet
+// cursor as a conservative horizon instead — the shard advances
+// there, re-queries, and the search resumes — so a long-idle device
+// never forces the runner to buffer an unbounded prefix of a busy
+// device's releases. The budget starts at the historical fixed chunk
+// and moves with observed release density between these bounds
+// (overridable per trial via Trial.DrainMin/DrainMax).
+const (
+	drainChunkStart = 1024
+	drainChunkMin   = 64
+	drainChunkMax   = 1 << 16
+)
+
+// drainPolicy is the AIMD controller for the drain budget. A search
+// that exhausts its budget without finding the shard's release means
+// releases are denser than the budget assumed — the next search gets
+// twice the room (up to max). A search that finishes well under
+// budget lets the controller decay toward min, so sparse workloads
+// stop over-materializing other shards' backlog per query. The budget
+// only bounds a conservative horizon (a too-early horizon merely makes
+// the shard wake, find nothing, and re-query), so any trajectory of
+// chunk values yields byte-identical trial results — the controller
+// trades skip extents, never correctness.
+type drainPolicy struct {
+	min, max, chunk int
+}
+
+// newDrainPolicy clamps the configured bounds (zero values pick the
+// built-in ones, an inverted pair collapses to [lo, lo]) and seeds the
+// budget at the historical fixed chunk.
+func newDrainPolicy(lo, hi int) *drainPolicy {
+	if lo <= 0 {
+		lo = drainChunkMin
+	}
+	if hi <= 0 {
+		hi = drainChunkMax
+	}
+	if hi < lo {
+		hi = lo
+	}
+	c := drainChunkStart
+	if c < lo {
+		c = lo
+	}
+	if c > hi {
+		c = hi
+	}
+	return &drainPolicy{min: lo, max: hi, chunk: c}
+}
+
+// grow reacts to an exhausted search: releases are dense, double the
+// budget so the next query can see past them.
+func (p *drainPolicy) grow() {
+	if c := p.chunk * 2; c <= p.max {
+		p.chunk = c
+	} else {
+		p.chunk = p.max
+	}
+}
+
+// settle reacts to a completed search that used `used` slots of the
+// budget: when under a quarter of it, decay the budget by a quarter —
+// additive-ish decrease against grow's doubling, so a burst ratchets
+// up fast and a quiet stretch drifts back down.
+func (p *drainPolicy) settle(used int) {
+	if used*4 > p.chunk {
+		return
+	}
+	if c := p.chunk - p.chunk/4; c >= p.min {
+		p.chunk = c
+	} else {
+		p.chunk = p.min
+	}
+}
 
 // runSharded drives one trial on decoupled per-shard clocks. The
 // fleet is drained in global release order (keeping the jitter RNG
@@ -73,7 +142,7 @@ const drainChunk = 1024
 // monolithic Step iterates them, completions reach the collector in
 // exactly the dense order — byte-identical results, enforced by the
 // equivalence tests.
-func runSharded(shards []Shard, fleet *vm.Fleet, horizon slot.Time, fallback func(j *task.Job)) {
+func runSharded(shards []Shard, fleet *vm.Fleet, horizon slot.Time, pol *drainPolicy, fallback func(j *task.Job)) {
 	set := sim.NewShardSet()
 	route := make(map[string]int, len(shards))
 	bufs := make([]*queue.FIFO[*task.Job], len(shards))
@@ -121,20 +190,26 @@ func runSharded(shards []Shard, fleet *vm.Fleet, horizon slot.Time, fallback fun
 			return j.Release
 		}
 		// Search forward for this shard's next release, materializing
-		// at most drainChunk release slots before falling back to the
-		// (conservative, always-safe) fleet cursor. Next-release times
-		// only move later, so once the cursor passes limit no release
-		// below limit can ever appear — the jump is sound permanently.
-		for budget := drainChunk; ; budget-- {
+		// at most the adaptive budget's worth of release slots before
+		// falling back to the (conservative, always-safe) fleet cursor.
+		// Next-release times only move later, so once the cursor passes
+		// limit no release below limit can ever appear — the jump is
+		// sound permanently. The search's outcome feeds the budget
+		// controller: exhaustion grows it, a cheap hit decays it.
+		budget := pol.chunk
+		for used := 0; ; used++ {
 			nr := fleet.NextRelease()
 			if nr >= limit {
+				pol.settle(used)
 				return limit
 			}
-			if budget <= 0 {
+			if used >= budget {
+				pol.grow()
 				return nr
 			}
 			fleet.Release(nr, emit)
 			if j, ok := bufs[i].Peek(); ok {
+				pol.settle(used)
 				return j.Release
 			}
 		}
@@ -142,13 +217,25 @@ func runSharded(shards []Shard, fleet *vm.Fleet, horizon slot.Time, fallback fun
 	set.Run(horizon, feed, hz)
 }
 
-// epochSpan bounds one parallel window in busy regions: the
-// coordinator pre-drains this many slots' releases, the shard groups
+// The epoch span bounds one parallel window in busy regions: the
+// coordinator pre-drains the span's releases, the shard groups
 // execute them concurrently, and the buffered completions merge at the
 // barrier. Larger spans amortize the barrier; smaller spans bound the
 // completion buffers. Idle regions are not bound by it — an empty span
 // extends straight to the next release, so a long gap costs one epoch.
-const epochSpan = 4096
+// The span starts at the historical fixed window and is resized from
+// each epoch's measured shard load: when even the laggard shard
+// executed only a sliver of the span (everything else fast-forwarded),
+// barriers dominate and the span doubles; when an epoch buffered more
+// completions than epochCompCap, the merge working set is growing and
+// the span halves. Like the drain budget, the span changes only where
+// barriers fall, never results.
+const (
+	epochSpanStart = 4096
+	epochSpanMin   = 1024
+	epochSpanMax   = 1 << 16
+	epochCompCap   = 4096
+)
 
 // shardCompletion is one buffered completion: the job and observation
 // slot the collector will see, plus the local slot of the emitting
@@ -244,8 +331,10 @@ func runShardedParallel(shards []Shard, fleet *vm.Fleet, horizon slot.Time, work
 		return limit
 	}
 	heads := make([]int, len(shards))
+	prevStepped := make([]int64, len(shards))
+	span := slot.Time(epochSpanStart)
 	for start := slot.Time(0); start < horizon; {
-		end := start + epochSpan
+		end := start + span
 		if end > horizon {
 			end = horizon
 		}
@@ -300,8 +389,32 @@ func runShardedParallel(shards []Shard, fleet *vm.Fleet, horizon slot.Time, work
 				col.Complete(c.j, c.at)
 			}
 		}
+		// Resize the next window from this epoch's measured load: the
+		// laggard's executed-slot count is how much dense work the span
+		// actually covered, the merged-completion count is the barrier's
+		// working set.
+		merged := 0
 		for i := range comps {
+			merged += len(comps[i])
 			comps[i] = comps[i][:0]
+		}
+		width := end - start
+		var lag int64
+		for i := range shards {
+			st := set.Stats(i).Stepped
+			if d := st - prevStepped[i]; d > lag {
+				lag = d
+			}
+			prevStepped[i] = st
+		}
+		if merged > epochCompCap {
+			if span /= 2; span < epochSpanMin {
+				span = epochSpanMin
+			}
+		} else if lag < int64(width)/8 && merged*4 < epochCompCap {
+			if span *= 2; span > epochSpanMax {
+				span = epochSpanMax
+			}
 		}
 		start = end
 	}

@@ -62,6 +62,16 @@ type Trial struct {
 	// results are byte-identical, an invariant enforced by the
 	// three-way equivalence tests and the CI -race job.
 	ShardWorkers int
+	// DrainMin/DrainMax bound the sharded runner's adaptive release-
+	// drain budget (how many release slots one horizon query may
+	// materialize while hunting the querying shard's next submission).
+	// Zero values pick the built-in bounds; either way the budget seeds
+	// at the historical fixed chunk, and because it only bounds a
+	// conservative horizon search, every setting produces byte-identical
+	// results — the knobs trade fast-forward extents against release
+	// buffering, never correctness.
+	DrainMin int
+	DrainMax int
 }
 
 // Builder constructs a system wired to a collector. It receives the
@@ -106,6 +116,12 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 	if tr.Horizon <= 0 {
 		return nil, fmt.Errorf("system: non-positive horizon %d", tr.Horizon)
 	}
+	if tr.DrainMin < 0 || tr.DrainMax < 0 {
+		return nil, fmt.Errorf("system: negative drain bound (min %d, max %d)", tr.DrainMin, tr.DrainMax)
+	}
+	if tr.DrainMin > 0 && tr.DrainMax > 0 && tr.DrainMin > tr.DrainMax {
+		return nil, fmt.Errorf("system: drain bounds inverted (min %d > max %d)", tr.DrainMin, tr.DrainMax)
+	}
 	if err := tr.Tasks.Validate(); err != nil {
 		return nil, err
 	}
@@ -123,7 +139,7 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 		if shards := ss.Shards(); len(shards) > 0 {
 			fallback := func(j *task.Job) { sys.Submit(j.Release, j) }
 			if !runShardedParallel(shards, fleet, tr.Horizon, tr.ShardWorkers, col, fallback) {
-				runSharded(shards, fleet, tr.Horizon, fallback)
+				runSharded(shards, fleet, tr.Horizon, newDrainPolicy(tr.DrainMin, tr.DrainMax), fallback)
 			}
 			res := col.Result(sys, tr.Horizon)
 			res.Released = fleet.Released()
