@@ -312,6 +312,21 @@ func BenchmarkEngineIdle(b *testing.B) { benchSuite(b, "EngineIdle") }
 // system.Run, dense vs fast-forward.
 func BenchmarkRunSparse(b *testing.B) { benchSuite(b, "RunSparse") }
 
+// BenchmarkRunAvionics measures the long-hyper-period stress cell (the
+// ARINC-653-style avionics workload, H = 4,000,000 slots at ~3%
+// per-device utilization) end to end through system.Run, dense
+// stepping vs the fast-forward stack over the interval slot table.
+func BenchmarkRunAvionics(b *testing.B) { benchSuite(b, "RunAvionics") }
+
+// BenchmarkSlotBuild, BenchmarkSlotNextFree and BenchmarkSlotFreeIn
+// compare the σ* representations (dense per-slot array vs run-length
+// intervals) on the avionics stress cell's table: compilation plus
+// first supply query, and mode-change-then-query-burst cycles for the
+// two supply primitives the fast-forward stack leans on.
+func BenchmarkSlotBuild(b *testing.B)    { benchSuite(b, "SlotBuild") }
+func BenchmarkSlotNextFree(b *testing.B) { benchSuite(b, "SlotNextFree") }
+func BenchmarkSlotFreeIn(b *testing.B)   { benchSuite(b, "SlotFreeIn") }
+
 // BenchmarkRunSkewed measures the one-busy-device skew cell (bursty
 // telemetry on four near-idle devices plus a 60%-utilized CAN
 // controller) under all four execution protocols: dense stepping,

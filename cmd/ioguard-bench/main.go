@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"ioguard/internal/benchsuite"
+	"ioguard/internal/footprint"
 )
 
 // Result is one benchmark measurement.
@@ -39,8 +40,9 @@ type Result struct {
 	SlotsPerSec float64 `json:"slots_per_sec,omitempty"`
 }
 
-// Speedup compares the dense and fast-forward variants of one
-// benchmark pair.
+// Speedup compares the dense variant of one benchmark pair against
+// its optimized sibling — the fast-forward protocol for engine-level
+// pairs, or the run-length interval table for the Slot* pairs.
 type Speedup struct {
 	Name          string  `json:"name"`
 	DenseNsPerOp  float64 `json:"dense_ns_per_op"`
@@ -63,6 +65,10 @@ type Report struct {
 	BenchTime string    `json:"benchtime"`
 	Results   []Result  `json:"results"`
 	Speedups  []Speedup `json:"speedups,omitempty"`
+	// SlotTables pairs the σ* encodings' memory footprints at the
+	// avionics stress cell (H = 4M slots), complementing the Slot*
+	// latency pairs in Speedups.
+	SlotTables []footprint.SlotTableRow `json:"slot_tables,omitempty"`
 }
 
 // Trajectory accumulates one Report per invocation (-append): the
@@ -94,8 +100,9 @@ func measure(spec benchsuite.Spec) Result {
 }
 
 // speedups pairs every <base>/dense and <base>/globalmin result with
-// its <base>/fastforward sibling, and every <base>/parshard result
-// with the same sibling as its baseline. The Dense* fields hold the
+// its <base>/fastforward sibling — or, for the slot-table pairs that
+// have no engine variant, the <base>/interval sibling — and every
+// <base>/parshard result with the same sibling as its baseline. The Dense* fields hold the
 // baseline variant's numbers; for "/globalmin" entries that baseline
 // is the single-clock fast-forward rather than dense stepping, so the
 // ratio isolates what the per-device clock decoupling buys on its own;
@@ -115,6 +122,9 @@ func speedups(results []Result) []Speedup {
 				continue
 			}
 			ff, ok := byName[base+"/fastforward"]
+			if !ok {
+				ff, ok = byName[base+"/interval"]
+			}
 			if !ok || ff.NsPerOp == 0 {
 				continue
 			}
@@ -227,9 +237,14 @@ func main() {
 		rep.Results = append(rep.Results, res)
 	}
 	rep.Speedups = speedups(rep.Results)
+	slotRows, err := footprint.SlotTableRows(benchsuite.AvionicsTableRequirements())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ioguard-bench: slot-table footprint: %v\n", err)
+		os.Exit(1)
+	}
+	rep.SlotTables = slotRows
 
 	var data []byte
-	var err error
 	if *appendRep && *out != "-" {
 		data, err = appendRun(*out, rep)
 	} else {
@@ -250,6 +265,10 @@ func main() {
 	}
 	for _, s := range rep.Speedups {
 		fmt.Printf("%s: %.1f× over baseline\n", s.Name, s.Speedup)
+	}
+	for _, r := range rep.SlotTables {
+		fmt.Printf("slot-table %s: dense %d B → interval %d B (%.0f× smaller, %d runs over %d slots)\n",
+			r.Device, r.DenseBytes, r.IntervalBytes, r.Reduction, r.Runs, r.HyperPeriod)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Results))
 }

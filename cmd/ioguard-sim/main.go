@@ -55,8 +55,9 @@ var openTraceFile = func(path string) (io.WriteCloser, error) { return os.Create
 func main() {
 	var (
 		sysName = flag.String("system", "ioguard-70", experiments.SystemSpecs())
+		family  = flag.String("workload", "case", "workload family: case (automotive case study) | avionics (ARINC-653-style long partition periods, H = 4,000,000 slots; -util is ignored)")
 		vms     = flag.Int("vms", 4, "number of virtual machines")
-		util    = flag.Float64("util", 0.7, "target device utilization")
+		util    = flag.Float64("util", 0.7, "target device utilization (case family only)")
 		hps     = flag.Int("hyperperiods", 3, "horizon in workload hyper-periods")
 		seed    = flag.Int64("seed", 1, "random seed")
 		trials  = flag.Int("trials", 1, "repeat across N independent seeds and print the aggregate")
@@ -72,15 +73,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
 		os.Exit(1)
 	}
-	if err := run(os.Stdout, *sysName, *vms, *util, *hps, *seed, *trials, *gantt, *csvPath, *byTask, *dense, r); err != nil {
+	if err := run(os.Stdout, *sysName, *family, *vms, *util, *hps, *seed, *trials, *gantt, *csvPath, *byTask, *dense, r); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, sysName string, vms int, util float64, hps int, seed int64, trials, gantt int, csvPath string, byTask, dense bool, ec cliflags.Resolved) (err error) {
+// generateFamily dispatches on the -workload flag. The case-study
+// family sweeps -util; the avionics family's utilization is fixed by
+// its catalogue (sparse partition windows), so -util is ignored there.
+func generateFamily(family string, vms int, util float64, seed int64) (task.Set, error) {
+	switch family {
+	case "case":
+		return workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
+	case "avionics":
+		return workload.GenerateAvionics(workload.AvionicsConfig{VMs: vms, Seed: seed})
+	default:
+		return nil, fmt.Errorf("unknown workload family %q (case|avionics)", family)
+	}
+}
+
+func run(out io.Writer, sysName, family string, vms int, util float64, hps int, seed int64, trials, gantt int, csvPath string, byTask, dense bool, ec cliflags.Resolved) (err error) {
 	mode := ec.Metrics
-	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
+	ts, err := generateFamily(family, vms, util, seed)
 	if err != nil {
 		return err
 	}
@@ -88,7 +103,7 @@ func run(out io.Writer, sysName string, vms int, util float64, hps int, seed int
 		len(ts), formatUtil(workload.DeviceUtilization(ts)), ts.Hyperperiod())
 
 	if trials > 1 {
-		return runSweep(out, sysName, vms, util, hps, seed, trials, dense, ec)
+		return runSweep(out, sysName, family, vms, util, hps, seed, trials, dense, ec)
 	}
 
 	// Trace plumbing. The buffered Recorder backs -gantt (it renders
@@ -198,8 +213,8 @@ func run(out io.Writer, sysName string, vms int, util float64, hps int, seed int
 
 // runSweep repeats the trial across independent release seeds on the
 // deterministic worker pool and prints the aggregate.
-func runSweep(out io.Writer, sysName string, vms int, util float64, hps int, seed int64, trials int, dense bool, ec cliflags.Resolved) error {
-	ts, err := workload.Generate(workload.Config{VMs: vms, TargetUtil: util, Seed: seed})
+func runSweep(out io.Writer, sysName, family string, vms int, util float64, hps int, seed int64, trials int, dense bool, ec cliflags.Resolved) error {
+	ts, err := generateFamily(family, vms, util, seed)
 	if err != nil {
 		return err
 	}

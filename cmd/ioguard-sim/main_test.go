@@ -56,7 +56,7 @@ func withFailingTraceFile(t *testing.T, budget int) {
 func TestStreamCSVFlushErrorSurfaces(t *testing.T) {
 	withFailingTraceFile(t, 64)
 	var out bytes.Buffer
-	err := run(&out, "ioguard-70", 2, 0.5, 1, 1, 1, 0, "trace.csv", false, false, cliflags.Resolved{Workers: 1, Metrics: system.MetricsStream})
+	err := run(&out, "ioguard-70", "case", 2, 0.5, 1, 1, 1, 0, "trace.csv", false, false, cliflags.Resolved{Workers: 1, Metrics: system.MetricsStream})
 	if err == nil {
 		t.Fatal("run succeeded despite failing trace writer")
 	}
@@ -77,7 +77,7 @@ func TestFlushErrorJoinedWithTrialError(t *testing.T) {
 	var out bytes.Buffer
 	// hyperperiods 0 → non-positive horizon: the trial fails after the
 	// sink exists and the header row is buffered.
-	err := run(&out, "ioguard-70", 2, 0.5, 0, 1, 1, 0, "trace.csv", false, false, cliflags.Resolved{Workers: 1, Metrics: system.MetricsStream})
+	err := run(&out, "ioguard-70", "case", 2, 0.5, 0, 1, 1, 0, "trace.csv", false, false, cliflags.Resolved{Workers: 1, Metrics: system.MetricsStream})
 	if err == nil {
 		t.Fatal("run succeeded despite trial error and failing writer")
 	}
@@ -93,7 +93,7 @@ func TestFlushErrorJoinedWithTrialError(t *testing.T) {
 func TestExactCSVWriteErrorSurfaces(t *testing.T) {
 	withFailingTraceFile(t, 8)
 	var out bytes.Buffer
-	err := run(&out, "ioguard-70", 2, 0.5, 1, 1, 1, 0, "trace.csv", false, false, cliflags.Resolved{Workers: 1, Metrics: system.MetricsExact})
+	err := run(&out, "ioguard-70", "case", 2, 0.5, 1, 1, 1, 0, "trace.csv", false, false, cliflags.Resolved{Workers: 1, Metrics: system.MetricsExact})
 	if err == nil {
 		t.Fatal("run succeeded despite failing trace writer")
 	}
@@ -126,7 +126,7 @@ func TestServerTrialMatchesCLI(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var cli bytes.Buffer
-			if err := run(&cli, tc.system, 2, 0.5, 1, 7, 1, 0, "", false, false, cliflags.Resolved{Workers: 1, Metrics: tc.metrics, ShardWorkers: tc.shardWk}); err != nil {
+			if err := run(&cli, tc.system, "case", 2, 0.5, 1, 7, 1, 0, "", false, false, cliflags.Resolved{Workers: 1, Metrics: tc.metrics, ShardWorkers: tc.shardWk}); err != nil {
 				t.Fatalf("cli run: %v", err)
 			}
 
@@ -183,7 +183,7 @@ func TestSweepAggregateMatchesCLI(t *testing.T) {
 	defer hts.Close()
 
 	var cli bytes.Buffer
-	if err := run(&cli, "bluevisor", 2, 0.5, 1, 7, 5, 0, "", false, false, cliflags.Resolved{Workers: 2, Metrics: system.MetricsExact}); err != nil {
+	if err := run(&cli, "bluevisor", "case", 2, 0.5, 1, 7, 5, 0, "", false, false, cliflags.Resolved{Workers: 2, Metrics: system.MetricsExact}); err != nil {
 		t.Fatalf("cli run: %v", err)
 	}
 

@@ -46,13 +46,21 @@ func NewSupplyBound(tab *slot.Table) *SupplyBound {
 	if h == 0 {
 		return sb
 	}
+	// Walk the table's ownership runs instead of querying each slot:
+	// within a run the prefix advances linearly (by 1 per slot when
+	// free, flat when owned), so the fill costs O(H) increments but no
+	// per-slot table look-ups.
 	sb.prefix = make([]slot.Time, h+1)
-	for i := 0; i < h; i++ {
-		sb.prefix[i+1] = sb.prefix[i]
-		if tab.IsFree(slot.Time(i)) {
-			sb.prefix[i+1]++
+	tab.Runs(func(r slot.Run) bool {
+		step := slot.Time(0)
+		if r.Owner == slot.Free {
+			step = 1
 		}
-	}
+		for i := r.Start; i < r.Start+r.Length; i++ {
+			sb.prefix[i+1] = sb.prefix[i] + step
+		}
+		return true
+	})
 	sb.memo = make([]slot.Time, h)
 	for i := range sb.memo {
 		sb.memo[i] = slot.Never

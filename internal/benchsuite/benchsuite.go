@@ -405,6 +405,10 @@ func Specs() []Spec {
 			Bench: func(b *testing.B) { runSparse(b, true) }},
 		{Name: "RunSparse/fastforward", SlotsPerOp: sparseSlotsPerOp(),
 			Bench: func(b *testing.B) { runSparse(b, false) }},
+		{Name: "RunAvionics/dense", SlotsPerOp: avionicsSlotsPerOp(),
+			Bench: func(b *testing.B) { runAvionics(b, true) }},
+		{Name: "RunAvionics/fastforward", SlotsPerOp: avionicsSlotsPerOp(),
+			Bench: func(b *testing.B) { runAvionics(b, false) }},
 		{Name: "RunSkewed/dense", SlotsPerOp: skewedSlotsPerOp(),
 			Bench: func(b *testing.B) { runSkewed(b, "dense") }},
 		{Name: "RunSkewed/globalmin", SlotsPerOp: skewedSlotsPerOp(),
@@ -422,6 +426,18 @@ func Specs() []Spec {
 		{Name: "RunSkewedRTXen/parshard", SlotsPerOp: skewedSlotsPerOp(),
 			Bench: func(b *testing.B) { runSkewedBaseline(b, "rtxen", "parshard") }},
 		{Name: "CaseStudyShardPar", SlotsPerOp: 0, Bench: caseStudyShardPar},
+		{Name: "SlotBuild/dense", SlotsPerOp: 0,
+			Bench: func(b *testing.B) { slotBuild(b, true) }},
+		{Name: "SlotBuild/interval", SlotsPerOp: 0,
+			Bench: func(b *testing.B) { slotBuild(b, false) }},
+		{Name: "SlotNextFree/dense", SlotsPerOp: 0,
+			Bench: func(b *testing.B) { slotNextFree(b, true) }},
+		{Name: "SlotNextFree/interval", SlotsPerOp: 0,
+			Bench: func(b *testing.B) { slotNextFree(b, false) }},
+		{Name: "SlotFreeIn/dense", SlotsPerOp: 0,
+			Bench: func(b *testing.B) { slotFreeIn(b, true) }},
+		{Name: "SlotFreeIn/interval", SlotsPerOp: 0,
+			Bench: func(b *testing.B) { slotFreeIn(b, false) }},
 		{Name: "PQChurn", SlotsPerOp: 0, Bench: pqChurn},
 		{Name: "CollectorComplete/exact", SlotsPerOp: 0,
 			Bench: func(b *testing.B) { collectorComplete(b, system.MetricsExact) }},

@@ -1,0 +1,60 @@
+// Slot-table footprint comparison: Fig. 6 counts static software
+// segments, but once the hyper-period reaches millions of slots the
+// Time Slot Table becomes the dominant *run-time* data structure of
+// the P-channel. This file quantifies what the run-length σ*
+// representation saves over the dense per-slot array on a given
+// requirement set — the memory half of the BENCH_sim.json slot-table
+// pairings.
+package footprint
+
+import (
+	"fmt"
+	"sort"
+
+	"ioguard/internal/slot"
+)
+
+// SlotTableRow compares the two σ* encodings for one device's table:
+// both are built from the same requirements and measured query-ready
+// (free-prefix index included, since the manager always builds it).
+type SlotTableRow struct {
+	Device        string  `json:"device"`
+	HyperPeriod   int     `json:"hyper_period_slots"`
+	Runs          int     `json:"runs"`
+	DenseBytes    int     `json:"dense_bytes"`
+	IntervalBytes int     `json:"interval_bytes"`
+	Reduction     float64 `json:"reduction"`
+}
+
+// SlotTableRows builds each device's table in both encodings and
+// measures the resident footprints, in device-name order.
+func SlotTableRows(reqs map[string][]slot.Requirement) ([]SlotTableRow, error) {
+	devices := make([]string, 0, len(reqs))
+	for dev := range reqs {
+		devices = append(devices, dev)
+	}
+	sort.Strings(devices)
+	rows := make([]SlotTableRow, 0, len(devices))
+	for _, dev := range devices {
+		iv, _, err := slot.Build(reqs[dev])
+		if err != nil {
+			return nil, fmt.Errorf("footprint: interval table for %s: %w", dev, err)
+		}
+		dn, _, err := slot.BuildDense(reqs[dev])
+		if err != nil {
+			return nil, fmt.Errorf("footprint: dense table for %s: %w", dev, err)
+		}
+		row := SlotTableRow{
+			Device:        dev,
+			HyperPeriod:   iv.Len(),
+			Runs:          iv.RunCount(),
+			DenseBytes:    dn.MemoryFootprint(),
+			IntervalBytes: iv.MemoryFootprint(),
+		}
+		if row.IntervalBytes > 0 {
+			row.Reduction = float64(row.DenseBytes) / float64(row.IntervalBytes)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

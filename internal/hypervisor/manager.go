@@ -101,20 +101,25 @@ type preTask struct {
 	started     bool // nextRelease fast-forwarded to the current time
 	seq         int
 	pending     *queue.FIFO[*task.Job] // released, unfinished jobs (in order)
-	owned       []slot.Time            // table slots owned by id, ascending in [0,H)
+	owned       []slot.Run             // maximal table runs owned by id, ascending in [0,H)
 }
 
 // nextOwned returns the first slot ≥ from of the infinite table σ that
 // this task owns — the next slot at which a pending P-channel job can
-// execute. h is the table hyper-period; owned is never empty (Preload
-// rejects tasks without table slots).
+// execute. The binary search runs over the task's owned runs (whole
+// spans, not per-slot lists), so its cost follows the run count. h is
+// the table hyper-period; owned is never empty (Preload rejects tasks
+// without table slots).
 func (pt *preTask) nextOwned(from, h slot.Time) slot.Time {
 	idx := from % h
-	i := sort.Search(len(pt.owned), func(k int) bool { return pt.owned[k] >= idx })
+	i := sort.Search(len(pt.owned), func(k int) bool { return pt.owned[k].Start+pt.owned[k].Length > idx })
 	if i < len(pt.owned) {
-		return from + (pt.owned[i] - idx)
+		if pt.owned[i].Start <= idx {
+			return from // from lies inside an owned run
+		}
+		return from + (pt.owned[i].Start - idx)
 	}
-	return from + (h - idx) + pt.owned[0]
+	return from + (h - idx) + pt.owned[0].Start
 }
 
 // serverState is the run-time state of one periodic server.
@@ -241,7 +246,7 @@ func (m *Manager) Preload(spec *task.Sporadic, id slot.TaskID, offset slot.Time)
 	if _, dup := m.pre[id]; dup {
 		return fmt.Errorf("hypervisor: pre-defined task %d already loaded", id)
 	}
-	owned := m.cfg.Table.OwnedBy(id)
+	owned := m.cfg.Table.OwnedRuns(id)
 	if len(owned) == 0 {
 		return fmt.Errorf("hypervisor: task %d owns no slot in the table", id)
 	}

@@ -3,6 +3,9 @@
 // pre-defined tasks between operating modes. AllocatePeriodic places
 // a new periodic task into the *free* slots of a live table (leaving
 // every existing reservation untouched), and Release retires one.
+// Both walk the run list instead of the slots: occupied stretches are
+// jumped whole, so the cost scales with the runs crossed, not the
+// window lengths.
 package slot
 
 import (
@@ -26,8 +29,8 @@ func (t *Table) AllocatePeriodic(r Requirement) ([]Placement, error) {
 	if h%r.Period != 0 {
 		return nil, fmt.Errorf("slot: period %d does not divide hyper-period %d", r.Period, h)
 	}
-	for i := 0; i < t.Len(); i++ {
-		if t.slots[i] == r.ID {
+	for _, rn := range t.runs {
+		if rn.owner == r.ID {
 			return nil, fmt.Errorf("slot: task %d already owns slots", r.ID)
 		}
 	}
@@ -41,16 +44,34 @@ func (t *Table) AllocatePeriodic(r Requirement) ([]Placement, error) {
 	for rel := r.Offset; rel < h; rel += r.Period {
 		p := Placement{Task: r.ID, Release: rel, Deadline: rel + r.Deadline}
 		need := r.WCET
-		for s := rel; s < rel+r.Deadline && need > 0; s++ {
-			if t.IsFree(s) {
-				if err := t.Assign(s, r.ID); err != nil {
+		// Walk the window run by run: owned runs are skipped whole,
+		// free runs donate their earliest slots — the same earliest-
+		// free-first placement a per-slot scan produces.
+		for s := rel; s < rel+r.Deadline && need > 0; {
+			i := Time(t.index(s))
+			ri := t.findRun(i)
+			span := t.runEnd(ri) - i
+			if t.runs[ri].owner != Free {
+				s += span
+				continue
+			}
+			take := span
+			if lim := rel + r.Deadline - s; take > lim {
+				take = lim
+			}
+			if take > need {
+				take = need
+			}
+			for k := Time(0); k < take; k++ {
+				if err := t.Assign(s+k, r.ID); err != nil {
 					rollback()
 					return nil, err
 				}
-				assigned = append(assigned, s)
-				p.Slots = append(p.Slots, s%h)
-				need--
+				assigned = append(assigned, s+k)
+				p.Slots = append(p.Slots, (s+k)%h)
 			}
+			need -= take
+			s += span
 		}
 		if need > 0 {
 			rollback()
@@ -63,18 +84,30 @@ func (t *Table) AllocatePeriodic(r Requirement) ([]Placement, error) {
 }
 
 // Release frees every slot owned by id and returns how many were
-// freed.
+// freed. Negative ids (including Free) release nothing. One pass over
+// the run list relabels the task's runs and re-merges neighbours.
 func (t *Table) Release(id TaskID) int {
-	n := 0
-	for i := range t.slots {
-		if t.slots[i] == id {
-			t.slots[i] = Free
-			t.free++
-			n++
+	if id < 0 || len(t.runs) == 0 {
+		return 0
+	}
+	var n Time
+	out := t.runs[:0]
+	for i := range t.runs {
+		rn := t.runs[i]
+		if rn.owner == id {
+			n += t.runEnd(i) - rn.start
+			rn.owner = Free
 		}
+		if len(out) > 0 && out[len(out)-1].owner == rn.owner {
+			continue // merge into the previous run
+		}
+		out = append(out, rn)
 	}
-	if n > 0 {
-		t.freePrefix, t.freePos = nil, nil
+	if n == 0 {
+		return 0
 	}
-	return n
+	t.runs = out
+	t.free += int(n)
+	t.freePrefix = nil
+	return int(n)
 }

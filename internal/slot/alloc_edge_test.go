@@ -1,0 +1,145 @@
+// Edge-case coverage for the mode-change allocation paths and the
+// wrap-around window arithmetic the R-channel supply queries rely on.
+package slot
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestReleaseUnknownTaskID: retiring a task that owns nothing is a
+// no-op returning 0, and negative ids (including Free itself) never
+// release anything — Release(Free) must not "free the free slots".
+func TestReleaseUnknownTaskID(t *testing.T) {
+	tab := NewTable(16)
+	for _, s := range []Time{2, 3, 4, 9} {
+		if err := tab.Assign(s, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tab.String()
+	for _, id := range []TaskID{7, Free, -5} {
+		if n := tab.Release(id); n != 0 {
+			t.Fatalf("Release(%d) freed %d slots", id, n)
+		}
+	}
+	if tab.String() != before || tab.FreeCount() != 12 {
+		t.Fatalf("no-op release mutated the table: %s free=%d", tab, tab.FreeCount())
+	}
+	if n := tab.Release(1); n != 4 {
+		t.Fatalf("Release(1) freed %d, want 4", n)
+	}
+	if tab.FreeCount() != 16 || tab.RunCount() != 1 {
+		t.Fatalf("release did not merge back to all-free: free=%d runs=%d", tab.FreeCount(), tab.RunCount())
+	}
+}
+
+// TestFreeInWrapsHyperperiodBoundary pins the window counting across
+// the H boundary against a brute-force per-slot count.
+func TestFreeInWrapsHyperperiodBoundary(t *testing.T) {
+	tab := NewTable(10)
+	for _, s := range []Time{0, 1, 5, 8, 9} {
+		if err := tab.Assign(s, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	brute := func(from, length Time) Time {
+		var n Time
+		for s := from; s < from+length; s++ {
+			if tab.IsFree(s) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, tc := range []struct{ from, length Time }{
+		{7, 6},   // crosses H once
+		{9, 1},   // last slot only
+		{9, 2},   // wraps onto slot 0
+		{8, 24},  // multiple wraps
+		{-3, 7},  // negative start crossing 0
+		{5, 10},  // exactly one period from mid-table
+		{0, 30},  // three full periods
+		{13, 11}, // second repetition crossing into the third
+	} {
+		if got, want := tab.FreeIn(tc.from, tc.length), brute(tc.from, tc.length); got != want {
+			t.Errorf("FreeIn(%d,%d) = %d, want %d", tc.from, tc.length, got, want)
+		}
+	}
+}
+
+// TestAllocateOnFullTable: a fully occupied table rejects any
+// allocation with ErrOverload and stays untouched.
+func TestAllocateOnFullTable(t *testing.T) {
+	tab := NewTable(8)
+	for s := Time(0); s < 8; s++ {
+		if err := tab.Assign(s, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tab.String()
+	_, err := tab.AllocatePeriodic(Requirement{ID: 5, Period: 4, WCET: 1, Deadline: 4})
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("full-table allocation: err=%v, want ErrOverload", err)
+	}
+	if tab.String() != before || tab.FreeCount() != 0 {
+		t.Fatalf("failed allocation mutated a full table: %s", tab)
+	}
+}
+
+// TestAllocateSkipsOwnedRuns: the run-walking window scan must land on
+// exactly the earliest free slots even when the window opens on a long
+// owned run.
+func TestAllocateSkipsOwnedRuns(t *testing.T) {
+	tab := NewTable(16)
+	for s := Time(0); s < 6; s++ {
+		if err := tab.Assign(s, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl, err := tab.AllocatePeriodic(Requirement{ID: 3, Period: 8, WCET: 2, Deadline: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 2 {
+		t.Fatalf("got %d placements, want 2", len(pl))
+	}
+	want := [][]Time{{6, 7}, {8, 9}}
+	for k, p := range pl {
+		if len(p.Slots) != 2 || p.Slots[0] != want[k][0] || p.Slots[1] != want[k][1] {
+			t.Fatalf("placement %d slots %v, want %v", k, p.Slots, want[k])
+		}
+	}
+}
+
+// TestAllocateWindowWrapsBoundary: a job window that wraps past H must
+// place into the (already partially allocated) head of the table.
+func TestAllocateWindowWrapsBoundary(t *testing.T) {
+	tab := NewTable(8)
+	// Occupy the tail so the offset job's window [6, 14) has only the
+	// wrapped slots 0..1 free after slot 6.
+	for _, s := range []Time{7} {
+		if err := tab.Assign(s, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl, err := tab.AllocatePeriodic(Requirement{ID: 4, Period: 8, WCET: 3, Deadline: 8, Offset: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 1 {
+		t.Fatalf("got %d placements, want 1", len(pl))
+	}
+	want := []Time{6, 0, 1} // slot 6, then wrap past owned slot 7 onto 0,1
+	if len(pl[0].Slots) != 3 {
+		t.Fatalf("slots %v, want %v", pl[0].Slots, want)
+	}
+	for k := range want {
+		if pl[0].Slots[k] != want[k] {
+			t.Fatalf("slots %v, want %v", pl[0].Slots, want)
+		}
+	}
+	if !tab.IsFree(2) || tab.Owner(0) != 4 || tab.Owner(6) != 4 {
+		t.Fatalf("wrapped allocation landed wrong: %s", tab)
+	}
+}

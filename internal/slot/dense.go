@@ -1,0 +1,303 @@
+// DenseTable is the original per-slot encoding of σ*, kept as the
+// behavioral reference for the run-length Table: one TaskID per slot
+// plus an O(H) lazily rebuilt free index. The randomized differential
+// suite and the fuzz target replay every operation against both
+// representations, and internal/benchsuite uses it as the baseline the
+// BENCH_sim.json speedup and footprint pairings are measured against.
+// It is NOT used on any simulation path — Table is.
+package slot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"unsafe"
+)
+
+// DenseTable stores σ* with one entry per slot; memory and index
+// rebuild cost are O(H) regardless of how sparse the schedule is.
+type DenseTable struct {
+	slots []TaskID
+	free  int
+
+	// Lazily built index over the free slots, dropped on any mutation:
+	// freePrefix[i] counts the free slots in [0,i), and freePos lists
+	// the free positions in ascending order.
+	freePrefix []int32
+	freePos    []Time
+}
+
+// NewDenseTable returns an all-free dense table with hyper-period h.
+func NewDenseTable(h int) *DenseTable {
+	if h < 0 {
+		h = 0
+	}
+	s := make([]TaskID, h)
+	for i := range s {
+		s[i] = Free
+	}
+	return &DenseTable{slots: s, free: h}
+}
+
+func (t *DenseTable) ensureIndex() {
+	if t.freePrefix != nil || len(t.slots) == 0 {
+		return
+	}
+	t.freePrefix = make([]int32, len(t.slots)+1)
+	t.freePos = make([]Time, 0, t.free)
+	for i, id := range t.slots {
+		t.freePrefix[i+1] = t.freePrefix[i]
+		if id == Free {
+			t.freePrefix[i+1]++
+			t.freePos = append(t.freePos, Time(i))
+		}
+	}
+}
+
+// Len returns H, the hyper-period.
+func (t *DenseTable) Len() int { return len(t.slots) }
+
+// FreeCount returns the number of free slots.
+func (t *DenseTable) FreeCount() int { return t.free }
+
+// Utilization returns (H-F)/H, or 0 for an empty table.
+func (t *DenseTable) Utilization() float64 {
+	if len(t.slots) == 0 {
+		return 0
+	}
+	return float64(len(t.slots)-t.free) / float64(len(t.slots))
+}
+
+func (t *DenseTable) index(at Time) int {
+	h := Time(len(t.slots))
+	i := at % h
+	if i < 0 {
+		i += h
+	}
+	return int(i)
+}
+
+// Owner returns the task owning slot at (mod H), or Free.
+func (t *DenseTable) Owner(at Time) TaskID {
+	if len(t.slots) == 0 {
+		return Free
+	}
+	return t.slots[t.index(at)]
+}
+
+// IsFree reports whether slot at (mod H) is free.
+func (t *DenseTable) IsFree(at Time) bool { return t.Owner(at) == Free }
+
+// Assign gives slot at (mod H) to task id.
+func (t *DenseTable) Assign(at Time, id TaskID) error {
+	if id < 0 {
+		return fmt.Errorf("slot: invalid task id %d", id)
+	}
+	if len(t.slots) == 0 {
+		return errors.New("slot: assign on empty table")
+	}
+	i := t.index(at)
+	if t.slots[i] != Free {
+		return fmt.Errorf("slot: slot %d already owned by task %d", i, t.slots[i])
+	}
+	t.slots[i] = id
+	t.free--
+	t.freePrefix, t.freePos = nil, nil
+	return nil
+}
+
+// Clear releases slot at (mod H) back to the free pool.
+func (t *DenseTable) Clear(at Time) {
+	if len(t.slots) == 0 {
+		return
+	}
+	i := t.index(at)
+	if t.slots[i] != Free {
+		t.slots[i] = Free
+		t.free++
+		t.freePrefix, t.freePos = nil, nil
+	}
+}
+
+// Clone returns a deep copy.
+func (t *DenseTable) Clone() *DenseTable {
+	c := &DenseTable{slots: make([]TaskID, len(t.slots)), free: t.free}
+	copy(c.slots, t.slots)
+	return c
+}
+
+// OwnedBy returns the indices of every slot owned by id, in order.
+func (t *DenseTable) OwnedBy(id TaskID) []Time {
+	var out []Time
+	for i, o := range t.slots {
+		if o == id {
+			out = append(out, Time(i))
+		}
+	}
+	return out
+}
+
+// FreeSlots returns the indices of all free slots, in order.
+func (t *DenseTable) FreeSlots() []Time {
+	out := make([]Time, 0, t.free)
+	for i, id := range t.slots {
+		if id == Free {
+			out = append(out, Time(i))
+		}
+	}
+	return out
+}
+
+// MemoryFootprint returns the heap bytes backing the table (slot array
+// plus query index, built first so the figure reflects a query-ready
+// table) — the dense side of the footprint pairings.
+func (t *DenseTable) MemoryFootprint() int {
+	t.ensureIndex()
+	return cap(t.slots)*int(unsafe.Sizeof(TaskID(0))) +
+		cap(t.freePrefix)*int(unsafe.Sizeof(int32(0))) +
+		cap(t.freePos)*int(unsafe.Sizeof(Time(0)))
+}
+
+// NextFree returns the first slot ≥ from that is free in σ, or Never.
+func (t *DenseTable) NextFree(from Time) Time {
+	if t.free == 0 || len(t.slots) == 0 {
+		return Never
+	}
+	t.ensureIndex()
+	idx := Time(t.index(from))
+	i := sort.Search(len(t.freePos), func(k int) bool { return t.freePos[k] >= idx })
+	if i < len(t.freePos) {
+		return from + (t.freePos[i] - idx)
+	}
+	h := Time(len(t.slots))
+	return from + (h - idx) + t.freePos[0]
+}
+
+// FreeIn returns the number of free slots in [from, from+length) of σ.
+func (t *DenseTable) FreeIn(from, length Time) Time {
+	if length <= 0 || len(t.slots) == 0 {
+		return 0
+	}
+	t.ensureIndex()
+	h := Time(len(t.slots))
+	full := length / h
+	n := full * Time(t.free)
+	lo := Time(t.index(from))
+	rem := length % h
+	if hi := lo + rem; hi <= h {
+		n += Time(t.freePrefix[hi] - t.freePrefix[lo])
+	} else {
+		n += Time(t.freePrefix[h] - t.freePrefix[lo])
+		n += Time(t.freePrefix[hi-h])
+	}
+	return n
+}
+
+// String renders the table exactly like Table.String.
+func (t *DenseTable) String() string {
+	var b strings.Builder
+	b.WriteByte('|')
+	for _, id := range t.slots {
+		if id == Free {
+			b.WriteByte('.')
+		} else {
+			fmt.Fprintf(&b, "%d", id)
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// AllocatePeriodic mirrors Table.AllocatePeriodic on the dense
+// representation (per-slot window scan).
+func (t *DenseTable) AllocatePeriodic(r Requirement) ([]Placement, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	h := Time(t.Len())
+	if h == 0 {
+		return nil, fmt.Errorf("slot: allocate on empty table")
+	}
+	if h%r.Period != 0 {
+		return nil, fmt.Errorf("slot: period %d does not divide hyper-period %d", r.Period, h)
+	}
+	for i := 0; i < t.Len(); i++ {
+		if t.slots[i] == r.ID {
+			return nil, fmt.Errorf("slot: task %d already owns slots", r.ID)
+		}
+	}
+	var assigned []Time
+	rollback := func() {
+		for _, s := range assigned {
+			t.Clear(s)
+		}
+	}
+	var placements []Placement
+	for rel := r.Offset; rel < h; rel += r.Period {
+		p := Placement{Task: r.ID, Release: rel, Deadline: rel + r.Deadline}
+		need := r.WCET
+		for s := rel; s < rel+r.Deadline && need > 0; s++ {
+			if t.IsFree(s) {
+				if err := t.Assign(s, r.ID); err != nil {
+					rollback()
+					return nil, err
+				}
+				assigned = append(assigned, s)
+				p.Slots = append(p.Slots, s%h)
+				need--
+			}
+		}
+		if need > 0 {
+			rollback()
+			return nil, fmt.Errorf("%w: job released at %d short %d slots before deadline %d",
+				ErrOverload, rel, need, p.Deadline)
+		}
+		placements = append(placements, p)
+	}
+	return placements, nil
+}
+
+// Release frees every slot owned by id and returns how many were
+// freed. Negative ids (including Free) release nothing.
+func (t *DenseTable) Release(id TaskID) int {
+	if id < 0 {
+		return 0
+	}
+	n := 0
+	for i := range t.slots {
+		if t.slots[i] == id {
+			t.slots[i] = Free
+			t.free++
+			n++
+		}
+	}
+	if n > 0 {
+		t.freePrefix, t.freePos = nil, nil
+	}
+	return n
+}
+
+// BuildDense compiles requirements into a DenseTable with the same
+// EDF sweep as Build, paying the dense representation's O(H)
+// allocation and per-slot bookkeeping — the baseline the slot.Build
+// micro-benchmarks compare against.
+func BuildDense(reqs []Requirement) (*DenseTable, []Placement, error) {
+	if len(reqs) == 0 {
+		return NewDenseTable(0), nil, nil
+	}
+	h, jobs, byRelease, err := expandJobs(reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := NewDenseTable(int(h))
+	assign := func(now Time, id TaskID) error { return tab.Assign(now, id) }
+	if err := edfSweep(h, byRelease, tab.IsFree, assign); err != nil {
+		return nil, nil, err
+	}
+	placements, err := collectPlacements(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tab, placements, nil
+}

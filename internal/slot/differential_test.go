@@ -1,0 +1,341 @@
+// Differential suite for the run-length Table: every operation is
+// replayed against the dense per-slot reference (DenseTable) and every
+// observable is compared after each step. This is the guard that makes
+// the representation swap safe — any divergence in Owner, the free
+// index, wrap-around window counting, or mode-change allocation shows
+// up as a concrete op trace.
+package slot
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// tablePair is one interval table and its dense shadow.
+type tablePair struct {
+	iv *Table
+	dn *DenseTable
+}
+
+func newPair(h int) *tablePair {
+	return &tablePair{iv: NewTable(h), dn: NewDenseTable(h)}
+}
+
+// invariants checks the structural invariants of the run list via the
+// public iteration API: runs tile [0,H), are maximal, and the free
+// count matches the free runs.
+func (p *tablePair) invariants(t testing.TB) {
+	t.Helper()
+	h := Time(p.iv.Len())
+	var pos, free Time
+	prev := TaskID(-2) // impossible owner: no merge check on the first run
+	n := 0
+	p.iv.Runs(func(r Run) bool {
+		n++
+		if r.Start != pos {
+			t.Fatalf("run %d starts at %d, want %d", n, r.Start, pos)
+		}
+		if r.Length <= 0 {
+			t.Fatalf("run %d has length %d", n, r.Length)
+		}
+		if prev != -2 && r.Owner == prev {
+			t.Fatalf("run %d not maximal: owner %d equals predecessor", n, r.Owner)
+		}
+		if r.Owner == Free {
+			free += r.Length
+		}
+		prev = r.Owner
+		pos += r.Length
+		return true
+	})
+	if pos != h {
+		t.Fatalf("runs cover %d of %d slots", pos, h)
+	}
+	if n != p.iv.RunCount() {
+		t.Fatalf("RunCount %d, visited %d", p.iv.RunCount(), n)
+	}
+	if int(free) != p.iv.FreeCount() {
+		t.Fatalf("free count %d, free runs sum %d", p.iv.FreeCount(), free)
+	}
+}
+
+// compare checks every observable of both representations, including
+// queries at negative times and windows wrapping the H boundary.
+func (p *tablePair) compare(t testing.TB, rng *rand.Rand) {
+	t.Helper()
+	p.invariants(t)
+	if p.iv.Len() != p.dn.Len() {
+		t.Fatalf("Len: %d vs %d", p.iv.Len(), p.dn.Len())
+	}
+	if p.iv.FreeCount() != p.dn.FreeCount() {
+		t.Fatalf("FreeCount: %d vs %d", p.iv.FreeCount(), p.dn.FreeCount())
+	}
+	if p.iv.Utilization() != p.dn.Utilization() {
+		t.Fatalf("Utilization: %v vs %v", p.iv.Utilization(), p.dn.Utilization())
+	}
+	if gi, gd := p.iv.String(), p.dn.String(); gi != gd {
+		t.Fatalf("String:\n interval %s\n dense    %s", gi, gd)
+	}
+	h := Time(p.iv.Len())
+	if h == 0 {
+		return
+	}
+	// Exhaustive point queries across three repetitions and negatives.
+	for at := -h; at < 2*h; at++ {
+		if gi, gd := p.iv.Owner(at), p.dn.Owner(at); gi != gd {
+			t.Fatalf("Owner(%d): %d vs %d\n interval %s", at, gi, gd, p.iv)
+		}
+		if gi, gd := p.iv.NextFree(at), p.dn.NextFree(at); gi != gd {
+			t.Fatalf("NextFree(%d): %d vs %d\n table %s", at, gi, gd, p.iv)
+		}
+	}
+	// Window counts: spans chosen to cover intra-period windows, exact
+	// boundary hits, wrap-around, and multi-period spans.
+	for i := 0; i < 64; i++ {
+		from := Time(rng.Int63n(int64(3*h))) - h
+		length := Time(rng.Int63n(int64(3*h + 2)))
+		if gi, gd := p.iv.FreeIn(from, length), p.dn.FreeIn(from, length); gi != gd {
+			t.Fatalf("FreeIn(%d,%d): %d vs %d\n table %s", from, length, gi, gd, p.iv)
+		}
+	}
+	if gi, gd := p.iv.FreeIn(0, 0), p.dn.FreeIn(0, 0); gi != gd || gi != 0 {
+		t.Fatalf("FreeIn(0,0): %d vs %d", gi, gd)
+	}
+	// Per-task slot sets and the run view of them.
+	for id := TaskID(0); id < 8; id++ {
+		oi, od := p.iv.OwnedBy(id), p.dn.OwnedBy(id)
+		if len(oi) != len(od) {
+			t.Fatalf("OwnedBy(%d): %v vs %v", id, oi, od)
+		}
+		for k := range oi {
+			if oi[k] != od[k] {
+				t.Fatalf("OwnedBy(%d)[%d]: %d vs %d", id, k, oi[k], od[k])
+			}
+		}
+		var viaRuns []Time
+		for _, r := range p.iv.OwnedRuns(id) {
+			for s := r.Start; s < r.Start+r.Length; s++ {
+				viaRuns = append(viaRuns, s)
+			}
+		}
+		if len(viaRuns) != len(oi) {
+			t.Fatalf("OwnedRuns(%d) expands to %d slots, OwnedBy has %d", id, len(viaRuns), len(oi))
+		}
+		for k := range oi {
+			if viaRuns[k] != oi[k] {
+				t.Fatalf("OwnedRuns(%d) slot %d: %d vs %d", id, k, viaRuns[k], oi[k])
+			}
+		}
+	}
+	fi, fd := p.iv.FreeSlots(), p.dn.FreeSlots()
+	if len(fi) != len(fd) {
+		t.Fatalf("FreeSlots: %d vs %d entries", len(fi), len(fd))
+	}
+	for k := range fi {
+		if fi[k] != fd[k] {
+			t.Fatalf("FreeSlots[%d]: %d vs %d", k, fi[k], fd[k])
+		}
+	}
+	var viaFreeRuns Time
+	p.iv.FreeRuns(func(r Run) bool {
+		if r.Owner != Free {
+			t.Fatalf("FreeRuns visited owner %d", r.Owner)
+		}
+		viaFreeRuns += r.Length
+		return true
+	})
+	if int(viaFreeRuns) != p.iv.FreeCount() {
+		t.Fatalf("FreeRuns sum %d, FreeCount %d", viaFreeRuns, p.iv.FreeCount())
+	}
+}
+
+// step applies one decoded operation to both tables and verifies that
+// they agree on acceptance/rejection. Returns false if the op decoder
+// ran out of input (fuzz mode).
+func (p *tablePair) step(t testing.TB, op, a, b, c, d int64) {
+	t.Helper()
+	h := Time(p.iv.Len())
+	switch op % 5 {
+	case 0: // Assign — at ranges over negatives and ≥H, ids over [-1, 8)
+		at := Time(a%(3*int64(h)+1)) - h
+		id := TaskID(b%9) - 1
+		ei := p.iv.Assign(at, id)
+		ed := p.dn.Assign(at, id)
+		if (ei == nil) != (ed == nil) {
+			t.Fatalf("Assign(%d,%d): interval err=%v dense err=%v", at, id, ei, ed)
+		}
+	case 1: // Clear
+		at := Time(a%(3*int64(h)+1)) - h
+		p.iv.Clear(at)
+		p.dn.Clear(at)
+	case 2: // Release
+		id := TaskID(b%10) - 2
+		ni := p.iv.Release(id)
+		nd := p.dn.Release(id)
+		if ni != nd {
+			t.Fatalf("Release(%d): %d vs %d", id, ni, nd)
+		}
+	case 3: // AllocatePeriodic with a period dividing H
+		divs := divisors(h)
+		period := divs[int(a)%len(divs)]
+		deadline := Time(b)%period + 1
+		wcet := Time(c)%deadline + 1
+		offset := Time(d) % period
+		r := Requirement{ID: TaskID(a%6) + 10, Period: period, WCET: wcet, Deadline: deadline, Offset: offset}
+		pi, ei := p.iv.AllocatePeriodic(r)
+		pd, ed := p.dn.AllocatePeriodic(r)
+		if (ei == nil) != (ed == nil) {
+			t.Fatalf("AllocatePeriodic(%+v): interval err=%v dense err=%v", r, ei, ed)
+		}
+		if ei == nil {
+			if len(pi) != len(pd) {
+				t.Fatalf("AllocatePeriodic(%+v): %d vs %d placements", r, len(pi), len(pd))
+			}
+			for k := range pi {
+				if pi[k].Release != pd[k].Release || len(pi[k].Slots) != len(pd[k].Slots) {
+					t.Fatalf("placement %d differs: %+v vs %+v", k, pi[k], pd[k])
+				}
+				for s := range pi[k].Slots {
+					if pi[k].Slots[s] != pd[k].Slots[s] {
+						t.Fatalf("placement %d slot %d: %d vs %d", k, s, pi[k].Slots[s], pd[k].Slots[s])
+					}
+				}
+			}
+		}
+	case 4: // JSON round-trip: re-decode the interval table in place
+		blob, err := json.Marshal(p.iv)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Table
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", blob, err)
+		}
+		p.iv = &back
+	}
+}
+
+// divisors returns the divisors of h (h ≥ 1), ascending.
+func divisors(h Time) []Time {
+	var out []Time
+	for d := Time(1); d <= h; d++ {
+		if h%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestDifferentialRandomOps drives long random op streams over a range
+// of hyper-periods and compares the two representations after every
+// mutation.
+func TestDifferentialRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := []int{1, 2, 3, 7, 12, 16, 30, 48, 60}[rng.Intn(9)]
+		p := newPair(h)
+		p.compare(t, rng)
+		for op := 0; op < 150; op++ {
+			p.step(t, rng.Int63(), rng.Int63(), rng.Int63(), rng.Int63(), rng.Int63())
+			p.compare(t, rng)
+		}
+	}
+}
+
+// TestDifferentialClone verifies Clone independence on both sides.
+func TestDifferentialClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := newPair(24)
+	for i := 0; i < 40; i++ {
+		p.step(t, rng.Int63(), rng.Int63(), rng.Int63(), rng.Int63(), rng.Int63())
+	}
+	ci, cd := p.iv.Clone(), p.dn.Clone()
+	// Mutate the originals; the clones must not move.
+	before := ci.String()
+	p.iv.Release(10)
+	p.dn.Release(10)
+	p.iv.Clear(3)
+	p.dn.Clear(3)
+	if ci.String() != before {
+		t.Fatal("interval clone aliases its source")
+	}
+	q := &tablePair{iv: ci, dn: cd}
+	q.compare(t, rng)
+}
+
+// TestDifferentialBuild compares Build (run-emitting) against
+// BuildDense (per-slot reference) over random requirement sets: same
+// accept/reject decision, identical placements, identical tables.
+func TestDifferentialBuild(t *testing.T) {
+	periods := []Time{2, 3, 4, 6, 8, 12, 16, 24}
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		reqs := make([]Requirement, 0, n)
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			d := Time(rng.Int63n(int64(p))) + 1
+			w := Time(rng.Int63n(int64(d))) + 1
+			o := Time(rng.Int63n(int64(p)))
+			reqs = append(reqs, Requirement{ID: TaskID(i), Period: p, WCET: w, Deadline: d, Offset: o})
+		}
+		ti, pi, ei := Build(reqs)
+		td, pd, ed := BuildDense(reqs)
+		if (ei == nil) != (ed == nil) {
+			t.Fatalf("seed %d: Build err=%v BuildDense err=%v", seed, ei, ed)
+		}
+		if ei != nil {
+			continue
+		}
+		if ti.String() != td.String() {
+			t.Fatalf("seed %d: tables differ\n interval %s\n dense    %s", seed, ti, td)
+		}
+		if ti.FreeCount() != td.FreeCount() {
+			t.Fatalf("seed %d: free %d vs %d", seed, ti.FreeCount(), td.FreeCount())
+		}
+		if len(pi) != len(pd) {
+			t.Fatalf("seed %d: %d vs %d placements", seed, len(pi), len(pd))
+		}
+		for k := range pi {
+			if pi[k].Task != pd[k].Task || pi[k].Release != pd[k].Release || pi[k].Deadline != pd[k].Deadline {
+				t.Fatalf("seed %d placement %d: %+v vs %+v", seed, k, pi[k], pd[k])
+			}
+			if len(pi[k].Slots) != len(pd[k].Slots) {
+				t.Fatalf("seed %d placement %d slots: %v vs %v", seed, k, pi[k].Slots, pd[k].Slots)
+			}
+			for s := range pi[k].Slots {
+				if pi[k].Slots[s] != pd[k].Slots[s] {
+					t.Fatalf("seed %d placement %d slot %d: %d vs %d", seed, k, s, pi[k].Slots[s], pd[k].Slots[s])
+				}
+			}
+		}
+		pair := &tablePair{iv: ti, dn: td}
+		pair.compare(t, rng)
+	}
+}
+
+// FuzzTableOps feeds arbitrary byte streams through the differential
+// harness: each 5-byte group decodes one mutation, and the two
+// representations are compared after every step.
+func FuzzTableOps(f *testing.F) {
+	f.Add([]byte{16, 0, 3, 1, 0, 0})
+	f.Add([]byte{7, 3, 200, 5, 9, 2, 1, 14, 2, 0, 0, 4, 1, 1, 1})
+	f.Add([]byte{48, 0, 1, 2, 3, 4, 2, 9, 9, 9, 9, 3, 5, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		h := int(data[0])%64 + 1
+		p := newPair(h)
+		rng := rand.New(rand.NewSource(int64(h)))
+		for i := 1; i+4 < len(data); i += 5 {
+			p.step(t, int64(data[i]), int64(data[i+1]), int64(data[i+2]), int64(data[i+3]), int64(data[i+4]))
+			p.invariants(t)
+			if p.iv.FreeCount() != p.dn.FreeCount() {
+				t.Fatalf("free count diverged: %d vs %d", p.iv.FreeCount(), p.dn.FreeCount())
+			}
+		}
+		p.compare(t, rng)
+	})
+}

@@ -3,41 +3,113 @@
 // it needs a stable on-disk form for tooling (cmd/ioguard-analyze)
 // and for shipping tables between the offline builder and a deployed
 // system.
+//
+// The current wire form is the interval encoding
+// {"h":H,"runs":[[start,length,owner],...]} — size proportional to
+// the number of ownership runs, not to H. Decoding also accepts the
+// legacy dense form {"slots":[...]} (one entry per slot, Free as -1)
+// so tables written by earlier versions keep loading. Decoded state is
+// never trusted: both paths validate every owner, check that the runs
+// tile [0,H) exactly, and recompute the free count.
 package slot
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 )
 
-// tableJSON is the wire form: one entry per slot, Free as -1.
-type tableJSON struct {
-	Slots []TaskID `json:"slots"`
-}
-
-// MarshalJSON encodes the table as {"slots":[...]} with -1 for free
-// slots.
+// MarshalJSON encodes the table in the interval form.
 func (t *Table) MarshalJSON() ([]byte, error) {
-	return json.Marshal(tableJSON{Slots: append([]TaskID(nil), t.slots...)})
+	runs := make([][3]int64, len(t.runs))
+	for i, rn := range t.runs {
+		runs[i] = [3]int64{int64(rn.start), int64(t.runEnd(i) - rn.start), int64(rn.owner)}
+	}
+	return json.Marshal(struct {
+		H    Time       `json:"h"`
+		Runs [][3]int64 `json:"runs"`
+	}{t.h, runs})
 }
 
-// UnmarshalJSON decodes a table, validating that every entry is either
-// Free or a non-negative task ID and recomputing the free count.
+// UnmarshalJSON decodes either encoding, validating owners and
+// interval structure and recomputing the free count.
 func (t *Table) UnmarshalJSON(data []byte) error {
-	var w tableJSON
+	var w struct {
+		Slots *[]TaskID  `json:"slots"`
+		H     *Time      `json:"h"`
+		Runs  [][3]int64 `json:"runs"`
+	}
 	if err := json.Unmarshal(data, &w); err != nil {
 		return err
 	}
+	if w.Slots != nil {
+		return t.fromDense(*w.Slots)
+	}
+	if w.H == nil {
+		// Neither form present ({} or {"slots":null}): the empty table,
+		// matching the legacy decoder.
+		*t = Table{}
+		return nil
+	}
+	return t.fromRuns(*w.H, w.Runs)
+}
+
+// fromDense rebuilds the run list from a legacy per-slot encoding.
+func (t *Table) fromDense(slots []TaskID) error {
 	free := 0
-	for i, id := range w.Slots {
+	var runs []run
+	for i, id := range slots {
 		switch {
 		case id == Free:
 			free++
 		case id < 0:
 			return fmt.Errorf("slot: table entry %d has invalid id %d", i, id)
 		}
+		if len(runs) == 0 || runs[len(runs)-1].owner != id {
+			runs = append(runs, run{Time(i), id})
+		}
 	}
-	t.slots = w.Slots
-	t.free = free
+	*t = Table{h: Time(len(slots)), runs: runs, free: free}
+	return nil
+}
+
+// fromRuns validates and installs an interval encoding: the runs must
+// tile [0,h) exactly (contiguous, positive lengths) with owners that
+// are Free or valid task ids. Same-owner neighbours are merged so the
+// maximal-runs invariant holds even for non-canonical input.
+func (t *Table) fromRuns(h Time, triples [][3]int64) error {
+	if h < 0 {
+		return fmt.Errorf("slot: negative hyper-period %d", h)
+	}
+	var runs []run
+	free := Time(0)
+	pos := Time(0)
+	for i, tr := range triples {
+		start, length, owner := Time(tr[0]), Time(tr[1]), tr[2]
+		if start != pos {
+			return fmt.Errorf("slot: run %d starts at %d, want %d (runs must tile [0,H))", i, start, pos)
+		}
+		if length <= 0 {
+			return fmt.Errorf("slot: run %d has non-positive length %d", i, length)
+		}
+		if length > h-pos {
+			return fmt.Errorf("slot: run %d overruns the hyper-period %d", i, h)
+		}
+		if owner < int64(Free) || owner > math.MaxInt32 {
+			return fmt.Errorf("slot: run %d has invalid owner %d", i, owner)
+		}
+		id := TaskID(owner)
+		if id == Free {
+			free += length
+		}
+		if len(runs) == 0 || runs[len(runs)-1].owner != id {
+			runs = append(runs, run{start, id})
+		}
+		pos += length
+	}
+	if pos != h {
+		return fmt.Errorf("slot: runs cover %d of %d slots", pos, h)
+	}
+	*t = Table{h: h, runs: runs, free: int(free)}
 	return nil
 }

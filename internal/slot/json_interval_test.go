@@ -1,0 +1,128 @@
+// Decode-validation tests for both table encodings: the decoder must
+// never trust wire state — owners, interval structure, and the free
+// count are all re-derived and checked.
+package slot
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestIntervalJSONRoundTrip: marshal emits the compact interval form
+// and decoding restores an identical table.
+func TestIntervalJSONRoundTrip(t *testing.T) {
+	tab := NewTable(12)
+	for _, s := range []Time{0, 1, 5, 6, 7, 11} {
+		if err := tab.Assign(s, TaskID(int(s)%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"runs"`) || strings.Contains(string(blob), `"slots"`) {
+		t.Fatalf("wire form is not the interval encoding: %s", blob)
+	}
+	var back Table
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != tab.String() || back.FreeCount() != tab.FreeCount() || back.Len() != tab.Len() {
+		t.Fatalf("round-trip changed the table:\n in  %s free=%d\n out %s free=%d",
+			tab, tab.FreeCount(), &back, back.FreeCount())
+	}
+}
+
+// TestLegacyDenseDecode: the old {"slots":[...]} form still decodes,
+// with the free count recomputed rather than trusted.
+func TestLegacyDenseDecode(t *testing.T) {
+	var tab Table
+	if err := json.Unmarshal([]byte(`{"slots":[-1,0,0,-1,2,-1]}`), &tab); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 6 || tab.FreeCount() != 3 {
+		t.Fatalf("len=%d free=%d, want 6/3", tab.Len(), tab.FreeCount())
+	}
+	if got, want := tab.String(), "|.|0|0|.|2|.|"; got != want {
+		t.Fatalf("decoded %s, want %s", got, want)
+	}
+	if tab.RunCount() != 5 {
+		t.Fatalf("RunCount=%d, want 5", tab.RunCount())
+	}
+}
+
+// TestIntervalDecodeRecomputesFree: the interval decoder derives the
+// free count from the runs and merges non-canonical same-owner
+// neighbours.
+func TestIntervalDecodeRecomputesFree(t *testing.T) {
+	var tab Table
+	if err := json.Unmarshal([]byte(`{"h":8,"runs":[[0,2,-1],[2,2,0],[4,2,0],[6,2,-1]]}`), &tab); err != nil {
+		t.Fatal(err)
+	}
+	if tab.FreeCount() != 4 {
+		t.Fatalf("free=%d, want 4", tab.FreeCount())
+	}
+	if tab.RunCount() != 3 { // [0,2) free, [2,6) task 0 merged, [6,8) free
+		t.Fatalf("RunCount=%d, want 3 (same-owner neighbours merged)", tab.RunCount())
+	}
+	if got, want := tab.String(), "|.|.|0|0|0|0|.|.|"; got != want {
+		t.Fatalf("decoded %s, want %s", got, want)
+	}
+}
+
+// TestIntervalJSONMalformed enumerates the rejection paths of both
+// decoders.
+func TestIntervalJSONMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		blob string
+	}{
+		{"dense invalid id", `{"slots":[-2,0]}`},
+		{"negative h", `{"h":-3,"runs":[]}`},
+		{"short coverage", `{"h":5,"runs":[[0,2,-1]]}`},
+		{"gap between runs", `{"h":5,"runs":[[0,2,-1],[3,2,0]]}`},
+		{"overlapping runs", `{"h":5,"runs":[[0,3,-1],[2,3,0]]}`},
+		{"zero length run", `{"h":5,"runs":[[0,2,-1],[2,0,0],[2,3,1]]}`},
+		{"negative length run", `{"h":5,"runs":[[0,7,-1],[7,-2,0]]}`},
+		{"owner below Free", `{"h":5,"runs":[[0,5,-2]]}`},
+		{"owner overflows TaskID", `{"h":5,"runs":[[0,5,4294967296]]}`},
+		{"overrun past h", `{"h":5,"runs":[[0,9,0]]}`},
+		{"runs on empty table", `{"h":0,"runs":[[0,1,0]]}`},
+		{"not json", `{"h":5,"runs":[[0`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var tab Table
+			if err := json.Unmarshal([]byte(tc.blob), &tab); err == nil {
+				t.Fatalf("decoded malformed input %s into %s", tc.blob, &tab)
+			}
+		})
+	}
+}
+
+// TestIntervalJSONEmptyForms: both empty encodings decode to the
+// zero-length table, and an empty table survives a round-trip.
+func TestIntervalJSONEmptyForms(t *testing.T) {
+	for _, blob := range []string{`{}`, `{"slots":null}`, `{"slots":[]}`, `{"h":0,"runs":[]}`} {
+		var tab Table
+		if err := json.Unmarshal([]byte(blob), &tab); err != nil {
+			t.Fatalf("%s: %v", blob, err)
+		}
+		if tab.Len() != 0 || tab.FreeCount() != 0 || tab.RunCount() != 0 {
+			t.Fatalf("%s decoded to non-empty table", blob)
+		}
+	}
+	blob, err := json.Marshal(NewTable(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("empty round-trip produced %d slots", back.Len())
+	}
+}

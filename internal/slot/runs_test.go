@@ -1,0 +1,127 @@
+// Tests for the run-iteration API the fast-forward stack consumes.
+package slot
+
+import (
+	"testing"
+)
+
+// TestRunsPartitionTable: Runs visits maximal runs tiling [0,H).
+func TestRunsPartitionTable(t *testing.T) {
+	tab := NewTable(10)
+	for _, s := range []Time{2, 3, 4, 7} {
+		if err := tab.Assign(s, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Run
+	tab.Runs(func(r Run) bool { got = append(got, r); return true })
+	want := []Run{
+		{0, 2, Free}, {2, 3, 1}, {5, 2, Free}, {7, 1, 1}, {8, 2, Free},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("runs %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("run %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if tab.RunCount() != 5 {
+		t.Fatalf("RunCount = %d, want 5", tab.RunCount())
+	}
+}
+
+// TestRunsEarlyStop: visitors returning false stop the iteration.
+func TestRunsEarlyStop(t *testing.T) {
+	tab := NewTable(10)
+	if err := tab.Assign(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	tab.Runs(func(Run) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Runs visited %d after stop", n)
+	}
+	n = 0
+	tab.FreeRuns(func(Run) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("FreeRuns visited %d after stop", n)
+	}
+}
+
+// TestFreeRunsOnlyFree: FreeRuns skips owned runs entirely.
+func TestFreeRunsOnlyFree(t *testing.T) {
+	tab := NewTable(8)
+	for _, s := range []Time{0, 1, 4} {
+		if err := tab.Assign(s, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Run
+	tab.FreeRuns(func(r Run) bool { got = append(got, r); return true })
+	want := []Run{{2, 2, Free}, {5, 3, Free}}
+	if len(got) != len(want) {
+		t.Fatalf("free runs %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("free run %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestOwnedRunsMerging: adjacent assignments coalesce into one run.
+func TestOwnedRunsMerging(t *testing.T) {
+	tab := NewTable(12)
+	for _, s := range []Time{3, 4, 5, 9} {
+		if err := tab.Assign(s, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs := tab.OwnedRuns(7)
+	want := []Run{{3, 3, 7}, {9, 1, 7}}
+	if len(runs) != len(want) {
+		t.Fatalf("owned runs %+v, want %+v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("owned run %d = %+v, want %+v", i, runs[i], want[i])
+		}
+	}
+	if rs := tab.OwnedRuns(99); len(rs) != 0 {
+		t.Fatalf("unknown id owns runs: %+v", rs)
+	}
+}
+
+// TestMemoryFootprintScalesWithRuns: the interval table's footprint
+// depends on R while the dense reference grows with H — the property
+// the BENCH_sim.json footprint pairings quantify.
+func TestMemoryFootprintScalesWithRuns(t *testing.T) {
+	mk := func(h int) (*Table, *DenseTable) {
+		iv, dn := NewTable(h), NewDenseTable(h)
+		// Two owned runs regardless of h.
+		for _, s := range []Time{1, 2, Time(h) - 2} {
+			if err := iv.Assign(s, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := dn.Assign(s, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return iv, dn
+	}
+	ivSmall, dnSmall := mk(1 << 8)
+	ivBig, dnBig := mk(1 << 16)
+	if ivBig.MemoryFootprint() != ivSmall.MemoryFootprint() {
+		t.Errorf("interval footprint grew with H at constant R: %d → %d bytes",
+			ivSmall.MemoryFootprint(), ivBig.MemoryFootprint())
+	}
+	if dnBig.MemoryFootprint() < 100*dnSmall.MemoryFootprint() {
+		t.Errorf("dense footprint did not scale with H: %d → %d bytes",
+			dnSmall.MemoryFootprint(), dnBig.MemoryFootprint())
+	}
+	if dnBig.MemoryFootprint() < 10*ivBig.MemoryFootprint() {
+		t.Errorf("dense %d B not ≥10× interval %d B at H=%d",
+			dnBig.MemoryFootprint(), ivBig.MemoryFootprint(), 1<<16)
+	}
+}

@@ -9,6 +9,16 @@
 // to the R-channel's two-layer scheduler. The Table type models σ*
 // exactly: a repeating schedule of length H in which every slot is
 // either owned by one pre-defined task or free.
+//
+// The table is stored run-length encoded: a sorted list of maximal
+// {start, owner} runs rather than one TaskID per slot. Memory and
+// mutation cost scale with the number of ownership changes R, not with
+// H, and point queries (Owner, IsFree, NextFree, FreeIn) are O(log R)
+// binary searches. This is what makes ARINC-653-style workloads with
+// hyper-periods in the millions of slots tractable: their tables are
+// sparse (long partition periods, short windows), so R ≪ H. The
+// fast-forward stack consumes the runs directly — FreeRuns/OwnedRuns
+// spans become sim.Skipper jumps without per-slot scans.
 package slot
 
 import (
@@ -17,6 +27,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"unsafe"
 )
 
 // Time is a time-slot index (or a count of slots). One slot is the
@@ -87,39 +98,44 @@ func LCMAll(vs ...Time) Time {
 	return l
 }
 
+// run is one maximal ownership interval of σ*: slots [start, next
+// run's start) all belong to owner. The run length is implicit in the
+// successor's start (the last run extends to H).
+type run struct {
+	start Time
+	owner TaskID
+}
+
 // Table is the Time Slot Table σ*: a repeating schedule of length H
 // whose entries record, for every slot of one hyper-period, which
 // pre-defined task (if any) owns the slot. The infinite table σ used
 // by the analysis in Sec. IV is the infinite repetition of σ*.
 //
+// Invariants (maintained by every mutator): for H > 0 the run list is
+// non-empty, runs[0].start == 0, starts strictly increase, and
+// adjacent runs have different owners (runs are maximal).
+//
 // The zero value is an empty table of length 0; use NewTable.
 type Table struct {
-	slots []TaskID
-	free  int
+	h    Time
+	runs []run
+	free int
 
-	// Lazily built index over the free slots, dropped on any mutation:
-	// freePrefix[i] counts the free slots in [0,i), and freePos lists
-	// the free positions in ascending order. Both serve the O(1)/O(log)
-	// queries the fast-forwarding simulation loop issues per skipped
-	// span (FreeIn, NextFree).
-	freePrefix []int32
-	freePos    []Time
+	// Lazily built index, dropped on any mutation: freePrefix[i] is
+	// the number of free slots covered by runs[0..i). It serves the
+	// O(log R) window counting (FreeIn) and next-free-run search
+	// (NextFree) the fast-forwarding simulation loop issues per
+	// skipped span.
+	freePrefix []Time
 }
 
-// ensureIndex (re)builds the free-slot index if a mutation dropped it.
-func (t *Table) ensureIndex() {
-	if t.freePrefix != nil || len(t.slots) == 0 {
-		return
-	}
-	t.freePrefix = make([]int32, len(t.slots)+1)
-	t.freePos = make([]Time, 0, t.free)
-	for i, id := range t.slots {
-		t.freePrefix[i+1] = t.freePrefix[i]
-		if id == Free {
-			t.freePrefix[i+1]++
-			t.freePos = append(t.freePos, Time(i))
-		}
-	}
+// Run is one maximal ownership interval of σ* as exposed by the
+// iteration API: Length slots starting at Start all belong to Owner
+// (Free for an idle run). Runs partition [0, H).
+type Run struct {
+	Start  Time
+	Length Time
+	Owner  TaskID
 }
 
 // NewTable returns an all-free table with hyper-period h.
@@ -127,48 +143,137 @@ func NewTable(h int) *Table {
 	if h < 0 {
 		h = 0
 	}
-	s := make([]TaskID, h)
-	for i := range s {
-		s[i] = Free
+	t := &Table{h: Time(h), free: h}
+	if h > 0 {
+		t.runs = []run{{0, Free}}
 	}
-	return &Table{slots: s, free: h}
+	return t
+}
+
+// runEnd returns the first slot after run i.
+func (t *Table) runEnd(i int) Time {
+	if i+1 < len(t.runs) {
+		return t.runs[i+1].start
+	}
+	return t.h
+}
+
+// findRun returns the index of the run containing slot idx ∈ [0, H).
+func (t *Table) findRun(idx Time) int {
+	return sort.Search(len(t.runs), func(k int) bool { return t.runs[k].start > idx }) - 1
+}
+
+// ensureIndex (re)builds the free-prefix index if a mutation dropped it.
+func (t *Table) ensureIndex() {
+	if t.freePrefix != nil || len(t.runs) == 0 {
+		return
+	}
+	t.freePrefix = make([]Time, len(t.runs)+1)
+	for i, rn := range t.runs {
+		t.freePrefix[i+1] = t.freePrefix[i]
+		if rn.owner == Free {
+			t.freePrefix[i+1] += t.runEnd(i) - rn.start
+		}
+	}
+}
+
+// freeBefore returns the number of free slots in [0, x), 0 ≤ x ≤ H.
+func (t *Table) freeBefore(x Time) Time {
+	if x <= 0 {
+		return 0
+	}
+	if x >= t.h {
+		return Time(t.free)
+	}
+	t.ensureIndex()
+	i := t.findRun(x)
+	n := t.freePrefix[i]
+	if t.runs[i].owner == Free {
+		n += x - t.runs[i].start
+	}
+	return n
 }
 
 // Len returns H, the hyper-period (total number of slots in σ*).
-func (t *Table) Len() int { return len(t.slots) }
+func (t *Table) Len() int { return int(t.h) }
 
 // FreeCount returns F, the number of free slots in σ*.
 func (t *Table) FreeCount() int { return t.free }
 
+// RunCount returns R, the number of maximal ownership runs in σ*. The
+// table's memory and mutation costs scale with R, not H.
+func (t *Table) RunCount() int { return len(t.runs) }
+
 // Utilization returns the fraction of σ* consumed by pre-defined
 // tasks, i.e. (H-F)/H. It is 0 for an empty table.
 func (t *Table) Utilization() float64 {
-	if len(t.slots) == 0 {
+	if t.h == 0 {
 		return 0
 	}
-	return float64(len(t.slots)-t.free) / float64(len(t.slots))
+	return float64(int(t.h)-t.free) / float64(t.h)
 }
 
 // index maps an arbitrary (possibly ≥H) slot time onto σ*.
 func (t *Table) index(at Time) int {
-	h := Time(len(t.slots))
-	i := at % h
+	i := at % t.h
 	if i < 0 {
-		i += h
+		i += t.h
 	}
 	return int(i)
 }
 
 // Owner returns the pre-defined task owning slot at (mod H), or Free.
 func (t *Table) Owner(at Time) TaskID {
-	if len(t.slots) == 0 {
+	if t.h == 0 {
 		return Free
 	}
-	return t.slots[t.index(at)]
+	return t.runs[t.findRun(Time(t.index(at)))].owner
 }
 
 // IsFree reports whether slot at (mod H) is available to the R-channel.
 func (t *Table) IsFree(at Time) bool { return t.Owner(at) == Free }
+
+// splice replaces runs [lo, hi) with the given pieces in place.
+func (t *Table) splice(lo, hi int, pieces []run) {
+	old := len(t.runs)
+	delta := len(pieces) - (hi - lo)
+	if delta > 0 {
+		t.runs = append(t.runs, make([]run, delta)...)
+	}
+	copy(t.runs[lo+len(pieces):old+delta], t.runs[hi:old])
+	copy(t.runs[lo:], pieces)
+	if delta < 0 {
+		t.runs = t.runs[:old+delta]
+	}
+}
+
+// setSpan hands slots [lo, hi) — which must lie inside a single run
+// whose owner differs from the new one — to owner, splitting the run
+// and re-merging with equal-owner neighbours to keep runs maximal.
+func (t *Table) setSpan(lo, hi Time, owner TaskID) {
+	r := t.findRun(lo)
+	s, e := t.runs[r].start, t.runEnd(r)
+	cur := t.runs[r].owner
+	var buf [3]run
+	pieces := buf[:0]
+	if lo > s {
+		pieces = append(pieces, run{s, cur})
+	}
+	pieces = append(pieces, run{lo, owner})
+	if hi < e {
+		pieces = append(pieces, run{hi, cur})
+	}
+	rlo, rhi := r, r+1
+	if lo == s && r > 0 && t.runs[r-1].owner == owner {
+		rlo = r - 1
+		pieces[0].start = t.runs[rlo].start
+	}
+	if hi == e && r+1 < len(t.runs) && t.runs[r+1].owner == owner {
+		rhi = r + 2
+	}
+	t.splice(rlo, rhi, pieces)
+	t.freePrefix = nil
+}
 
 // Assign gives slot at (mod H) to task id. It fails if the slot is
 // already owned or id is invalid.
@@ -176,96 +281,150 @@ func (t *Table) Assign(at Time, id TaskID) error {
 	if id < 0 {
 		return fmt.Errorf("slot: invalid task id %d", id)
 	}
-	if len(t.slots) == 0 {
+	if t.h == 0 {
 		return errors.New("slot: assign on empty table")
 	}
-	i := t.index(at)
-	if t.slots[i] != Free {
-		return fmt.Errorf("slot: slot %d already owned by task %d", i, t.slots[i])
+	i := Time(t.index(at))
+	if o := t.runs[t.findRun(i)].owner; o != Free {
+		return fmt.Errorf("slot: slot %d already owned by task %d", i, o)
 	}
-	t.slots[i] = id
+	t.setSpan(i, i+1, id)
 	t.free--
-	t.freePrefix, t.freePos = nil, nil
 	return nil
 }
 
 // Clear releases slot at (mod H) back to the free pool.
 func (t *Table) Clear(at Time) {
-	if len(t.slots) == 0 {
+	if t.h == 0 {
 		return
 	}
-	i := t.index(at)
-	if t.slots[i] != Free {
-		t.slots[i] = Free
+	i := Time(t.index(at))
+	if t.runs[t.findRun(i)].owner != Free {
+		t.setSpan(i, i+1, Free)
 		t.free++
-		t.freePrefix, t.freePos = nil, nil
 	}
 }
 
 // Clone returns a deep copy of the table.
 func (t *Table) Clone() *Table {
-	c := &Table{slots: make([]TaskID, len(t.slots)), free: t.free}
-	copy(c.slots, t.slots)
-	return c
+	return &Table{h: t.h, runs: append([]run(nil), t.runs...), free: t.free}
+}
+
+// Runs visits every maximal ownership run of σ* in slot order,
+// stopping early when visit returns false. The runs partition [0, H).
+func (t *Table) Runs(visit func(Run) bool) {
+	for i, rn := range t.runs {
+		if !visit(Run{Start: rn.start, Length: t.runEnd(i) - rn.start, Owner: rn.owner}) {
+			return
+		}
+	}
+}
+
+// FreeRuns visits every maximal free run of σ* in slot order, stopping
+// early when visit returns false. Each run is a span the R-channel may
+// consume whole — the fast-forward engine jumps these directly.
+func (t *Table) FreeRuns(visit func(Run) bool) {
+	for i, rn := range t.runs {
+		if rn.owner != Free {
+			continue
+		}
+		if !visit(Run{Start: rn.start, Length: t.runEnd(i) - rn.start, Owner: Free}) {
+			return
+		}
+	}
+}
+
+// OwnedRuns returns the maximal runs owned by id, in slot order. The
+// hypervisor's P-channel walks these instead of per-slot owned lists.
+func (t *Table) OwnedRuns(id TaskID) []Run {
+	var out []Run
+	for i, rn := range t.runs {
+		if rn.owner == id {
+			out = append(out, Run{Start: rn.start, Length: t.runEnd(i) - rn.start, Owner: id})
+		}
+	}
+	return out
 }
 
 // OwnedBy returns the indices (0 ≤ i < H) of every slot owned by id,
-// in increasing order.
+// in increasing order. Prefer OwnedRuns: this expands the runs to one
+// entry per slot.
 func (t *Table) OwnedBy(id TaskID) []Time {
 	var out []Time
-	for i, o := range t.slots {
-		if o == id {
-			out = append(out, Time(i))
+	for i, rn := range t.runs {
+		if rn.owner == id {
+			for s, e := rn.start, t.runEnd(i); s < e; s++ {
+				out = append(out, s)
+			}
 		}
 	}
 	return out
 }
 
 // FreeSlots returns the indices (0 ≤ i < H) of all free slots, in
-// increasing order.
+// increasing order. Prefer FreeRuns: this expands the runs to one
+// entry per slot.
 func (t *Table) FreeSlots() []Time {
 	out := make([]Time, 0, t.free)
-	for i, id := range t.slots {
-		if id == Free {
-			out = append(out, Time(i))
+	for i, rn := range t.runs {
+		if rn.owner == Free {
+			for s, e := rn.start, t.runEnd(i); s < e; s++ {
+				out = append(out, s)
+			}
 		}
 	}
 	return out
 }
 
+// MemoryFootprint returns the heap bytes backing the table (run list
+// plus query index), the quantity internal/footprint compares against
+// the dense per-slot encoding. The index is built first so the figure
+// reflects a query-ready table.
+func (t *Table) MemoryFootprint() int {
+	t.ensureIndex()
+	return cap(t.runs)*int(unsafe.Sizeof(run{})) + cap(t.freePrefix)*int(unsafe.Sizeof(Time(0)))
+}
+
 // NextFree returns the first slot ≥ from that is free in σ, or Never
 // if the table has no free slots at all.
 func (t *Table) NextFree(from Time) Time {
-	if t.free == 0 || len(t.slots) == 0 {
+	if t.free == 0 || t.h == 0 {
 		return Never
 	}
-	t.ensureIndex()
 	idx := Time(t.index(from))
-	i := sort.Search(len(t.freePos), func(k int) bool { return t.freePos[k] >= idx })
-	if i < len(t.freePos) {
-		return from + (t.freePos[i] - idx)
+	r := t.findRun(idx)
+	if t.runs[r].owner == Free {
+		return from
 	}
-	h := Time(len(t.slots))
-	return from + (h - idx) + t.freePos[0]
+	t.ensureIndex()
+	// First free run after r: the first boundary where the free-slot
+	// prefix grows past its value at the end of run r.
+	base := t.freePrefix[r+1]
+	n := len(t.runs)
+	j := r + 1 + sort.Search(n-r-1, func(k int) bool { return t.freePrefix[r+2+k] > base })
+	if j < n {
+		return from + (t.runs[j].start - idx)
+	}
+	// Wrap onto the next repetition: the first free run from slot 0.
+	j0 := sort.Search(n, func(k int) bool { return t.freePrefix[k+1] > 0 })
+	return from + (t.h - idx) + t.runs[j0].start
 }
 
 // FreeIn returns the number of free slots in the half-open window
 // [from, from+length) of the infinite table σ.
 func (t *Table) FreeIn(from, length Time) Time {
-	if length <= 0 || len(t.slots) == 0 {
+	if length <= 0 || t.h == 0 {
 		return 0
 	}
-	t.ensureIndex()
-	h := Time(len(t.slots))
-	full := length / h
+	full := length / t.h
 	n := full * Time(t.free)
 	lo := Time(t.index(from))
-	rem := length % h
-	if hi := lo + rem; hi <= h {
-		n += Time(t.freePrefix[hi] - t.freePrefix[lo])
+	rem := length % t.h
+	if hi := lo + rem; hi <= t.h {
+		n += t.freeBefore(hi) - t.freeBefore(lo)
 	} else {
-		n += Time(t.freePrefix[h] - t.freePrefix[lo])
-		n += Time(t.freePrefix[hi-h])
+		n += Time(t.free) - t.freeBefore(lo)
+		n += t.freeBefore(hi - t.h)
 	}
 	return n
 }
@@ -275,13 +434,15 @@ func (t *Table) FreeIn(from, length Time) Time {
 func (t *Table) String() string {
 	var b strings.Builder
 	b.WriteByte('|')
-	for _, id := range t.slots {
-		if id == Free {
-			b.WriteByte('.')
-		} else {
-			fmt.Fprintf(&b, "%d", id)
+	for i, rn := range t.runs {
+		for s, e := rn.start, t.runEnd(i); s < e; s++ {
+			if rn.owner == Free {
+				b.WriteByte('.')
+			} else {
+				fmt.Fprintf(&b, "%d", rn.owner)
+			}
+			b.WriteByte('|')
 		}
-		b.WriteByte('|')
 	}
 	return b.String()
 }
@@ -332,48 +493,46 @@ type Placement struct {
 // all meet their deadlines within one hyper-period.
 var ErrOverload = errors.New("slot: pre-defined task set is unschedulable")
 
-// Build compiles a set of pre-defined task requirements into a Time
-// Slot Table σ* of length H = lcm(periods), using offline preemptive
-// EDF to place every job of the hyper-period. This mirrors the
-// "loaded during system initialization" step of Sec. II-B: the
-// resulting table fixes, before run time, exactly which slots each
-// pre-defined task executes in.
-//
-// Build fails with ErrOverload if some job cannot meet its deadline.
-func Build(reqs []Requirement) (*Table, []Placement, error) {
-	if len(reqs) == 0 {
-		return NewTable(0), nil, nil
-	}
+// buildCap bounds the hyper-period Build accepts. The run-length table
+// no longer ties memory to H, but the EDF sweep still walks every
+// occupied slot, so an upper bound keeps pathological inputs from
+// running unbounded.
+const buildCap = 1 << 26
+
+// buildJob is one job of the hyper-period during table construction.
+type buildJob struct {
+	req       Requirement
+	release   Time
+	deadline  Time
+	remaining Time
+	placed    []Time
+	idx       int // position in deadline-sorted order: EDF tie-break
+}
+
+// expandJobs validates the requirements, computes H = lcm(periods) and
+// expands every job of one hyper-period, returned both deadline-sorted
+// (jobs) and release-sorted (byRelease).
+func expandJobs(reqs []Requirement) (Time, []*buildJob, []*buildJob, error) {
 	ids := map[TaskID]bool{}
 	periods := make([]Time, 0, len(reqs))
 	for _, r := range reqs {
 		if err := r.Validate(); err != nil {
-			return nil, nil, err
+			return 0, nil, nil, err
 		}
 		if ids[r.ID] {
-			return nil, nil, fmt.Errorf("slot: duplicate task id %d", r.ID)
+			return 0, nil, nil, fmt.Errorf("slot: duplicate task id %d", r.ID)
 		}
 		ids[r.ID] = true
 		periods = append(periods, r.Period)
 	}
 	h := LCMAll(periods...)
-	if h == Never || h > 1<<22 {
-		return nil, nil, fmt.Errorf("slot: hyper-period %d too large", h)
+	if h == Never || h > buildCap {
+		return 0, nil, nil, fmt.Errorf("slot: hyper-period %d too large", h)
 	}
-
-	// Expand all jobs of one hyper-period.
-	type job struct {
-		req       Requirement
-		release   Time
-		deadline  Time
-		remaining Time
-		placed    []Time
-		idx       int // position in deadline-sorted order: EDF tie-break
-	}
-	var jobs []*job
+	var jobs []*buildJob
 	for _, r := range reqs {
 		for rel := r.Offset; rel < h; rel += r.Period {
-			jobs = append(jobs, &job{
+			jobs = append(jobs, &buildJob{
 				req:       r,
 				release:   rel,
 				deadline:  rel + r.Deadline,
@@ -390,25 +549,29 @@ func Build(reqs []Requirement) (*Table, []Placement, error) {
 	for i, j := range jobs {
 		j.idx = i
 	}
-	byRelease := append([]*job(nil), jobs...)
+	byRelease := append([]*buildJob(nil), jobs...)
 	sort.Slice(byRelease, func(a, b int) bool { return byRelease[a].release < byRelease[b].release })
+	return h, jobs, byRelease, nil
+}
 
-	tab := NewTable(int(h))
-	// Offline preemptive EDF: sweep the slots once, keeping the
-	// released unfinished jobs in a min-heap on (deadline, sorted
-	// position) — the same pick order as a linear scan of the
-	// deadline-sorted slice. Jobs whose deadline crosses the
-	// hyper-period boundary wrap onto the (identical) next repetition,
-	// so the sweep covers 2H slots but only places within
-	// [release, deadline); stretches with no released work are jumped.
-	less := func(a, b *job) bool {
+// edfSweep runs the offline preemptive EDF sweep over 2H slots,
+// keeping the released unfinished jobs in a min-heap on (deadline,
+// sorted position) — the same pick order as a linear scan of the
+// deadline-sorted slice. Jobs whose deadline crosses the hyper-period
+// boundary wrap onto the (identical) next repetition, so the sweep
+// covers 2H slots but only places within [release, deadline);
+// stretches with no released work are jumped. Placement goes through
+// the isFree/assign callbacks so both table representations share the
+// sweep.
+func edfSweep(h Time, byRelease []*buildJob, isFree func(Time) bool, assign func(Time, TaskID) error) error {
+	less := func(a, b *buildJob) bool {
 		if a.deadline != b.deadline {
 			return a.deadline < b.deadline
 		}
 		return a.idx < b.idx
 	}
-	var ready []*job
-	push := func(j *job) {
+	var ready []*buildJob
+	push := func(j *buildJob) {
 		ready = append(ready, j)
 		for i := len(ready) - 1; i > 0; {
 			p := (i - 1) / 2
@@ -447,7 +610,8 @@ func Build(reqs []Requirement) (*Table, []Placement, error) {
 			ri++
 		}
 		// An expired head can never be placed again; it surfaces as
-		// ErrOverload below, exactly as under the per-slot scan.
+		// ErrOverload in collectPlacements, exactly as under the
+		// per-slot scan.
 		for len(ready) > 0 && ready[0].deadline <= now {
 			pop()
 		}
@@ -458,10 +622,10 @@ func Build(reqs []Requirement) (*Table, []Placement, error) {
 			now = byRelease[ri].release
 			continue
 		}
-		if tab.IsFree(now) { // else: taken by a wrapped earlier placement
+		if isFree(now) { // else: taken by a wrapped earlier placement
 			pick := ready[0]
-			if err := tab.Assign(now, pick.req.ID); err != nil {
-				return nil, nil, err
+			if err := assign(now, pick.req.ID); err != nil {
+				return err
 			}
 			pick.placed = append(pick.placed, now%h)
 			pick.remaining--
@@ -471,10 +635,16 @@ func Build(reqs []Requirement) (*Table, []Placement, error) {
 		}
 		now++
 	}
+	return nil
+}
+
+// collectPlacements turns the swept jobs into the Placement report,
+// failing with ErrOverload if any job was left short.
+func collectPlacements(jobs []*buildJob) ([]Placement, error) {
 	placements := make([]Placement, 0, len(jobs))
 	for _, j := range jobs {
 		if j.remaining > 0 {
-			return nil, nil, fmt.Errorf("%w: task %d job released at %d misses deadline %d",
+			return nil, fmt.Errorf("%w: task %d job released at %d misses deadline %d",
 				ErrOverload, j.req.ID, j.release, j.deadline)
 		}
 		placements = append(placements, Placement{
@@ -490,5 +660,78 @@ func Build(reqs []Requirement) (*Table, []Placement, error) {
 		}
 		return placements[i].Task < placements[j].Task
 	})
+	return placements, nil
+}
+
+// Build compiles a set of pre-defined task requirements into a Time
+// Slot Table σ* of length H = lcm(periods), using offline preemptive
+// EDF to place every job of the hyper-period. This mirrors the
+// "loaded during system initialization" step of Sec. II-B: the
+// resulting table fixes, before run time, exactly which slots each
+// pre-defined task executes in.
+//
+// The first pass of the sweep (now < H) advances strictly forward, so
+// Build emits the run list append-only and never allocates H-sized
+// state; only the rare wrapped placements (now ≥ H) go through the
+// general split/merge path on the finalized table.
+//
+// Build fails with ErrOverload if some job cannot meet its deadline.
+func Build(reqs []Requirement) (*Table, []Placement, error) {
+	if len(reqs) == 0 {
+		return NewTable(0), nil, nil
+	}
+	h, jobs, byRelease, err := expandJobs(reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab := &Table{h: h}
+	var acc []run
+	var filled, placed Time
+	finalized := false
+	appendRun := func(start Time, owner TaskID) {
+		if len(acc) > 0 && acc[len(acc)-1].owner == owner {
+			return
+		}
+		acc = append(acc, run{start, owner})
+	}
+	finalize := func() {
+		if finalized {
+			return
+		}
+		finalized = true
+		if filled < h {
+			appendRun(filled, Free)
+		}
+		tab.runs = acc
+		tab.free = int(h - placed)
+	}
+	isFree := func(now Time) bool {
+		if now < h {
+			return true // ahead of the append frontier: untouched
+		}
+		finalize()
+		return tab.IsFree(now)
+	}
+	assign := func(now Time, id TaskID) error {
+		if now < h {
+			if now > filled {
+				appendRun(filled, Free)
+			}
+			appendRun(now, id)
+			filled = now + 1
+			placed++
+			return nil
+		}
+		finalize()
+		return tab.Assign(now, id)
+	}
+	if err := edfSweep(h, byRelease, isFree, assign); err != nil {
+		return nil, nil, err
+	}
+	finalize()
+	placements, err := collectPlacements(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
 	return tab, placements, nil
 }

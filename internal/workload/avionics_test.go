@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"testing"
+
+	"ioguard/internal/slot"
+	"ioguard/internal/task"
+)
+
+// TestAvionicsHyperperiod pins the defining property of the family:
+// the full set's hyper-period is exactly 4,000,000 slots — in the
+// million-slot regime the interval table targets, yet still under
+// slot.Build's sweep cap so the table remains constructible.
+func TestAvionicsHyperperiod(t *testing.T) {
+	ts, err := GenerateAvionics(AvionicsConfig{VMs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := ts.Hyperperiod(); h != AvionicsHyperperiod {
+		t.Fatalf("hyper-period = %d, want %d", h, AvionicsHyperperiod)
+	}
+	if AvionicsHyperperiod < 1_000_000 {
+		t.Fatalf("stress cell below the 10^6-slot floor: %d", AvionicsHyperperiod)
+	}
+	for _, e := range append(AvionicsEntries(), AvionicsAlarmEntries()...) {
+		if AvionicsHyperperiod%e.Period != 0 {
+			t.Errorf("%s: period %d does not divide H=%d", e.Name, e.Period, AvionicsHyperperiod)
+		}
+		if e.WCET > MaxOpSlots {
+			t.Errorf("%s: WCET %d exceeds MaxOpSlots %d", e.Name, e.WCET, MaxOpSlots)
+		}
+	}
+}
+
+// TestAvionicsShape checks the structural properties the simulator
+// relies on: sparse per-device utilization, zero-jitter partitions
+// leading the ID order (preload-eligible), jittered alarms trailing.
+func TestAvionicsShape(t *testing.T) {
+	ts, err := GenerateAvionics(AvionicsConfig{VMs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(AvionicsEntries()) + len(AvionicsAlarmEntries()); len(ts) != want {
+		t.Fatalf("got %d tasks, want %d", len(ts), want)
+	}
+	for dev, u := range DeviceUtilization(ts) {
+		if u <= 0.005 || u >= 0.10 {
+			t.Errorf("device %s utilization %.4f outside the sparse regime (0.005, 0.10)", dev, u)
+		}
+	}
+	nPart := len(AvionicsEntries())
+	for i, tk := range ts {
+		if i < nPart && tk.Jitter != 0 {
+			t.Errorf("partition %s has jitter %d; must be preload-eligible", tk.Name, tk.Jitter)
+		}
+		if i >= nPart && tk.Jitter <= 0 {
+			t.Errorf("alarm %s has no jitter; would leak into the P-channel", tk.Name)
+		}
+	}
+}
+
+// TestAvionicsReplicasAndJitter covers the config knobs.
+func TestAvionicsReplicasAndJitter(t *testing.T) {
+	ts, err := GenerateAvionics(AvionicsConfig{VMs: 2, Partitions: 2, Jitter: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*len(AvionicsEntries()) + len(AvionicsAlarmEntries()); len(ts) != want {
+		t.Fatalf("got %d tasks, want %d", len(ts), want)
+	}
+	for _, tk := range ts[2*len(AvionicsEntries()):] {
+		if tk.Jitter != 5 {
+			t.Errorf("alarm %s jitter = %d, want 5", tk.Name, tk.Jitter)
+		}
+	}
+	// Negative jitter disables alarm jitter entirely.
+	ts, err = GenerateAvionics(AvionicsConfig{VMs: 2, Jitter: -1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range ts {
+		if tk.Jitter != 0 {
+			t.Errorf("%s: jitter %d with Jitter=-1", tk.Name, tk.Jitter)
+		}
+	}
+	if _, err := GenerateAvionics(AvionicsConfig{}); err == nil {
+		t.Fatal("zero VMs accepted")
+	}
+}
+
+// TestAvionicsDeterminism: the set is a pure function of the config.
+func TestAvionicsDeterminism(t *testing.T) {
+	a, err := GenerateAvionics(AvionicsConfig{VMs: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateAvionics(AvionicsConfig{VMs: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("task %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	_ = task.Set(a)
+	var _ slot.Time = AvionicsHyperperiod
+}
