@@ -7,10 +7,15 @@
 //
 // Two suites exist: the default one is sized for per-PR smoke runs,
 // while -suite nightly selects the paper-scale case study (1000 trials
-// per point, streaming metrics). With -append the report is appended
-// to a trajectory file (schema ioguard/bench_sim_trajectory/v1) whose
-// runs array accumulates one entry per invocation — the nightly CI job
-// uses this to track the sweep's performance PR over PR.
+// per point, streaming metrics) and additionally persists each sweep's
+// merged cross-trial response/tardiness sketches (results.SweepSketch)
+// so the trajectory accumulates a true latency distribution over time.
+// With -append the report is appended to a trajectory file (schema
+// ioguard/bench_sim_trajectory/v2; v1 files are upgraded in place,
+// their runs preserved) whose runs array accumulates one entry per
+// invocation — the nightly CI job uses this to track the sweep's
+// performance PR over PR, and cmd/ioguard-report renders and gates
+// the accumulated trajectory.
 package main
 
 import (
@@ -25,67 +30,12 @@ import (
 
 	"ioguard/internal/benchsuite"
 	"ioguard/internal/footprint"
+	"ioguard/internal/results"
 )
 
-// Result is one benchmark measurement.
-type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	// SlotsPerOp is how many simulated slots one iteration advances
-	// (0 when not meaningful, e.g. queue micro-benchmarks).
-	SlotsPerOp  int64   `json:"slots_per_op,omitempty"`
-	SlotsPerSec float64 `json:"slots_per_sec,omitempty"`
-}
-
-// Speedup compares the dense variant of one benchmark pair against
-// its optimized sibling — the fast-forward protocol for engine-level
-// pairs, or the run-length interval table for the Slot* pairs.
-type Speedup struct {
-	Name          string  `json:"name"`
-	DenseNsPerOp  float64 `json:"dense_ns_per_op"`
-	FFNsPerOp     float64 `json:"fastforward_ns_per_op"`
-	Speedup       float64 `json:"speedup"`
-	DenseSlotsSec float64 `json:"dense_slots_per_sec,omitempty"`
-	FFSlotsSec    float64 `json:"fastforward_slots_per_sec,omitempty"`
-}
-
-// Report is one benchmark run (the ioguard/bench_sim/v1 schema, and
-// one element of a trajectory's runs array).
-type Report struct {
-	Schema    string    `json:"schema"`
-	Timestamp string    `json:"timestamp,omitempty"`
-	Suite     string    `json:"suite,omitempty"`
-	GoVersion string    `json:"go_version"`
-	GOOS      string    `json:"goos"`
-	GOARCH    string    `json:"goarch"`
-	NumCPU    int       `json:"num_cpu"`
-	BenchTime string    `json:"benchtime"`
-	Results   []Result  `json:"results"`
-	Speedups  []Speedup `json:"speedups,omitempty"`
-	// SlotTables pairs the σ* encodings' memory footprints at the
-	// avionics stress cell (H = 4M slots), complementing the Slot*
-	// latency pairs in Speedups.
-	SlotTables []footprint.SlotTableRow `json:"slot_tables,omitempty"`
-}
-
-// Trajectory accumulates one Report per invocation (-append): the
-// perf-over-PRs record the nightly CI job maintains.
-type Trajectory struct {
-	Schema string   `json:"schema"`
-	Runs   []Report `json:"runs"`
-}
-
-const (
-	reportSchema     = "ioguard/bench_sim/v1"
-	trajectorySchema = "ioguard/bench_sim_trajectory/v1"
-)
-
-func measure(spec benchsuite.Spec) Result {
+func measure(spec benchsuite.Spec) results.Result {
 	r := testing.Benchmark(spec.Bench)
-	res := Result{
+	res := results.Result{
 		Name:        spec.Name,
 		Iterations:  r.N,
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
@@ -99,98 +49,6 @@ func measure(spec benchsuite.Spec) Result {
 	return res
 }
 
-// speedups pairs every <base>/dense and <base>/globalmin result with
-// its <base>/fastforward sibling — or, for the slot-table pairs that
-// have no engine variant, the <base>/interval sibling — and every
-// <base>/parshard result with the same sibling as its baseline. The Dense* fields hold the
-// baseline variant's numbers; for "/globalmin" entries that baseline
-// is the single-clock fast-forward rather than dense stepping, so the
-// ratio isolates what the per-device clock decoupling buys on its own;
-// for "/parshard" entries it is the single-thread sharded
-// fast-forward, so the ratio is the epoch-barrier executor's pure
-// wall-clock win (≈1 on single-core hosts).
-func speedups(results []Result) []Speedup {
-	byName := make(map[string]Result, len(results))
-	for _, r := range results {
-		byName[r.Name] = r
-	}
-	var out []Speedup
-	for _, r := range results {
-		for _, suffix := range []string{"/dense", "/globalmin"} {
-			base, ok := strings.CutSuffix(r.Name, suffix)
-			if !ok {
-				continue
-			}
-			ff, ok := byName[base+"/fastforward"]
-			if !ok {
-				ff, ok = byName[base+"/interval"]
-			}
-			if !ok || ff.NsPerOp == 0 {
-				continue
-			}
-			name := base
-			if suffix == "/globalmin" {
-				name = base + "/globalmin"
-			}
-			out = append(out, Speedup{
-				Name:          name,
-				DenseNsPerOp:  r.NsPerOp,
-				FFNsPerOp:     ff.NsPerOp,
-				Speedup:       r.NsPerOp / ff.NsPerOp,
-				DenseSlotsSec: r.SlotsPerSec,
-				FFSlotsSec:    ff.SlotsPerSec,
-			})
-		}
-		if base, ok := strings.CutSuffix(r.Name, "/parshard"); ok {
-			seq, ok := byName[base+"/fastforward"]
-			if ok && r.NsPerOp > 0 {
-				out = append(out, Speedup{
-					Name:          base + "/parshard",
-					DenseNsPerOp:  seq.NsPerOp,
-					FFNsPerOp:     r.NsPerOp,
-					Speedup:       seq.NsPerOp / r.NsPerOp,
-					DenseSlotsSec: seq.SlotsPerSec,
-					FFSlotsSec:    r.SlotsPerSec,
-				})
-			}
-		}
-	}
-	return out
-}
-
-// appendRun folds rep into the trajectory at path: an existing
-// trajectory file gains one run; an existing single-report file is
-// wrapped as the first run; a missing file starts a fresh trajectory.
-func appendRun(path string, rep Report) ([]byte, error) {
-	traj := Trajectory{Schema: trajectorySchema}
-	if data, err := os.ReadFile(path); err == nil {
-		var probe struct {
-			Schema string `json:"schema"`
-		}
-		if err := json.Unmarshal(data, &probe); err != nil {
-			return nil, fmt.Errorf("unreadable existing %s: %w", path, err)
-		}
-		switch probe.Schema {
-		case trajectorySchema:
-			if err := json.Unmarshal(data, &traj); err != nil {
-				return nil, fmt.Errorf("bad trajectory %s: %w", path, err)
-			}
-		case reportSchema:
-			var old Report
-			if err := json.Unmarshal(data, &old); err != nil {
-				return nil, fmt.Errorf("bad report %s: %w", path, err)
-			}
-			traj.Runs = append(traj.Runs, old)
-		default:
-			return nil, fmt.Errorf("existing %s has unknown schema %q", path, probe.Schema)
-		}
-	} else if !os.IsNotExist(err) {
-		return nil, err
-	}
-	traj.Runs = append(traj.Runs, rep)
-	return json.MarshalIndent(traj, "", "  ")
-}
-
 func main() {
 	testing.Init()
 	var (
@@ -198,7 +56,7 @@ func main() {
 		benchtime = flag.String("benchtime", "1s", "per-benchmark measuring time (forwarded to test.benchtime; e.g. 2s, 100x)")
 		match     = flag.String("bench", "", "only run benchmarks whose name contains this substring")
 		suite     = flag.String("suite", "default", "benchmark suite: default (per-PR smoke scale) or nightly (paper-scale 1000-trial case study)")
-		appendRep = flag.Bool("append", false, "append this run to the output file's trajectory (ioguard/bench_sim_trajectory/v1) instead of overwriting it")
+		appendRep = flag.Bool("append", false, "append this run to the output file's trajectory (ioguard/bench_sim_trajectory/v2) instead of overwriting it")
 	)
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -216,8 +74,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep := Report{
-		Schema:    reportSchema,
+	rep := results.Report{
+		Schema:    results.ReportSchema,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		Suite:     *suite,
 		GoVersion: runtime.Version(),
@@ -236,17 +94,21 @@ func main() {
 			res.Iterations, res.NsPerOp, res.AllocsPerOp)
 		rep.Results = append(rep.Results, res)
 	}
-	rep.Speedups = speedups(rep.Results)
+	rep.Speedups = results.Speedups(rep.Results)
 	slotRows, err := footprint.SlotTableRows(benchsuite.AvionicsTableRequirements())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ioguard-bench: slot-table footprint: %v\n", err)
 		os.Exit(1)
 	}
 	rep.SlotTables = slotRows
+	for _, sk := range benchsuite.TakeSweepSketches() {
+		sk.Suite = *suite
+		rep.SweepSketches = append(rep.SweepSketches, sk)
+	}
 
 	var data []byte
 	if *appendRep && *out != "-" {
-		data, err = appendRun(*out, rep)
+		data, err = results.AppendRun(*out, rep)
 	} else {
 		data, err = json.MarshalIndent(rep, "", "  ")
 	}
@@ -269,6 +131,10 @@ func main() {
 	for _, r := range rep.SlotTables {
 		fmt.Printf("slot-table %s: dense %d B → interval %d B (%.0f× smaller, %d runs over %d slots)\n",
 			r.Device, r.DenseBytes, r.IntervalBytes, r.Reduction, r.Runs, r.HyperPeriod)
+	}
+	for _, sk := range rep.SweepSketches {
+		fmt.Printf("sweep sketch %s: %d trials, response p99 %.0f slots\n",
+			sk.Key(), sk.Trials, sk.Response.Percentile(99))
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Results))
 }

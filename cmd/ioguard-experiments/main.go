@@ -33,6 +33,7 @@ func main() {
 		utilArg = flag.Float64("util", 0.8, "target utilization for the ablation")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		dense   = flag.Bool("dense", false, "step every slot instead of fast-forwarding idle regions (disables the decoupled per-device clocks; output is identical either way)")
+		quants  = flag.Bool("quantiles", false, "after each case-study table, print the merged cross-trial response/tardiness quantiles per (system, util) cell (exact in -metrics exact, ε-bounded in -metrics stream)")
 	)
 	execFlags := cliflags.RegisterDefault()
 	flag.Parse()
@@ -41,13 +42,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, *dense, r); err != nil {
+	if err := run(*exp, *trials, *hps, *maxEta, *utilArg, *seed, *dense, *quants, r); err != nil {
 		fmt.Fprintln(os.Stderr, "ioguard-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, trials, hps, maxEta int, util float64, seed int64, dense bool, ec cliflags.Resolved) error {
+func run(exp string, trials, hps, maxEta int, util float64, seed int64, dense, quants bool, ec cliflags.Resolved) error {
 	workers := ec.Workers
 	switch exp {
 	case "fig6":
@@ -55,15 +56,15 @@ func run(exp string, trials, hps, maxEta int, util float64, seed int64, dense bo
 	case "table1":
 		return table1()
 	case "fig7a":
-		return fig7(4, trials, hps, seed, dense, ec)
+		return fig7(4, trials, hps, seed, dense, quants, ec)
 	case "fig7b":
-		return fig7(8, trials, hps, seed, dense, ec)
+		return fig7(8, trials, hps, seed, dense, quants, ec)
 	case "fig7c":
 		// Fig. 7(c) shares the sweep; print both VM groups' throughput.
-		if err := fig7(4, trials, hps, seed, dense, ec); err != nil {
+		if err := fig7(4, trials, hps, seed, dense, quants, ec); err != nil {
 			return err
 		}
-		return fig7(8, trials, hps, seed, dense, ec)
+		return fig7(8, trials, hps, seed, dense, quants, ec)
 	case "fig8":
 		return fig8(maxEta)
 	case "ablation":
@@ -79,10 +80,10 @@ func run(exp string, trials, hps, maxEta int, util float64, seed int64, dense bo
 		if err := table1(); err != nil {
 			return err
 		}
-		if err := fig7(4, trials, hps, seed, dense, ec); err != nil {
+		if err := fig7(4, trials, hps, seed, dense, quants, ec); err != nil {
 			return err
 		}
-		if err := fig7(8, trials, hps, seed, dense, ec); err != nil {
+		if err := fig7(8, trials, hps, seed, dense, quants, ec); err != nil {
 			return err
 		}
 		return fig8(maxEta)
@@ -112,7 +113,7 @@ func table1() error {
 	return nil
 }
 
-func fig7(vms, trials, hps int, seed int64, dense bool, ec cliflags.Resolved) error {
+func fig7(vms, trials, hps int, seed int64, dense, quants bool, ec cliflags.Resolved) error {
 	points, err := experiments.CaseStudy(experiments.CaseStudyConfig{
 		VMs:          vms,
 		Trials:       trials,
@@ -130,6 +131,10 @@ func fig7(vms, trials, hps int, seed int64, dense bool, ec cliflags.Resolved) er
 	}
 	fmt.Print(experiments.RenderCaseStudy(points, vms))
 	fmt.Println()
+	if quants {
+		fmt.Print(experiments.RenderCaseStudyQuantiles(points, vms))
+		fmt.Println()
+	}
 	return nil
 }
 

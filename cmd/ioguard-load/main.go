@@ -24,16 +24,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ioguard/internal/cliflags"
+	"ioguard/internal/metrics"
 	"ioguard/internal/server"
 )
 
@@ -46,26 +45,54 @@ type counters struct {
 	trialsLost     atomic.Int64 // accepted lines that never arrived
 }
 
-type timingAgg struct {
-	mu         sync.Mutex
-	clientMs   []float64 // whole-request round trip
-	queueWait  []float64 // server-reported, per trial
-	execMs     []float64
-	batchSizes []float64
+// loadEps is the rank-error bound of the latency sketches: 0.5% of
+// ranks, tight enough that p50/p99 over a load run are stable.
+const loadEps = 0.005
+
+// clientTimings is one client goroutine's latency recorders. Each is
+// a KLL-backed mergeable sketch, so the final report folds every
+// connection's observations into one true cross-connection
+// distribution — counts, means and extrema fold exactly, quantiles
+// within ε·n ranks — with no shared mutex on the hot path and memory
+// bounded regardless of how many trials stream back.
+type clientTimings struct {
+	clientMs  *metrics.Streaming // whole-request round trip
+	queueWait *metrics.Streaming // server-reported, per trial
+	execMs    *metrics.Streaming
+	batchSize *metrics.Streaming
 }
 
-func (t *timingAgg) addClient(ms float64) {
-	t.mu.Lock()
-	t.clientMs = append(t.clientMs, ms)
-	t.mu.Unlock()
+func newClientTimings(client int) *clientTimings {
+	rec := func(ch uint64) *metrics.Streaming {
+		return metrics.NewStreamingKLL(loadEps, uint64(client+1)*0x9E3779B97F4A7C15^ch)
+	}
+	return &clientTimings{rec(0), rec(1), rec(2), rec(3)}
 }
 
-func (t *timingAgg) addServer(tm serverTiming) {
-	t.mu.Lock()
-	t.queueWait = append(t.queueWait, tm.QueueWaitMs)
-	t.execMs = append(t.execMs, tm.ExecMs)
-	t.batchSizes = append(t.batchSizes, float64(tm.BatchSize))
-	t.mu.Unlock()
+func (t *clientTimings) addServer(tm serverTiming) {
+	t.queueWait.Add(tm.QueueWaitMs)
+	t.execMs.Add(tm.ExecMs)
+	t.batchSize.Add(float64(tm.BatchSize))
+}
+
+// mergeClientTimings folds the per-client recorders in client-index
+// order — the same fixed-fold-order rule as the sweep aggregates, so
+// a run's report is a pure function of what each client observed.
+func mergeClientTimings(per []*clientTimings) (*clientTimings, error) {
+	out := newClientTimings(len(per))
+	for _, tc := range per {
+		for _, pair := range [][2]*metrics.Streaming{
+			{out.clientMs, tc.clientMs},
+			{out.queueWait, tc.queueWait},
+			{out.execMs, tc.execMs},
+			{out.batchSize, tc.batchSize},
+		} {
+			if err := pair[0].Merge(pair[1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
 }
 
 type serverTiming struct {
@@ -158,14 +185,16 @@ func main() {
 	}
 
 	var (
-		cnt     counters
-		timings timingAgg
-		reqSeq  atomic.Int64
-		wg      sync.WaitGroup
+		cnt    counters
+		reqSeq atomic.Int64
+		wg     sync.WaitGroup
 	)
+	perClient := make([]*clientTimings, *clients)
 	deadline := time.Now().Add(*duration)
 	client := &http.Client{}
 	for c := 0; c < *clients; c++ {
+		timings := newClientTimings(c)
+		perClient[c] = timings
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -200,7 +229,7 @@ func main() {
 					if got < *perReq {
 						cnt.trialsLost.Add(int64(*perReq - got))
 					}
-					timings.addClient(float64(time.Since(start)) / float64(time.Millisecond))
+					timings.clientMs.Add(float64(time.Since(start)) / float64(time.Millisecond))
 				case http.StatusTooManyRequests:
 					cnt.rejected.Add(1)
 					// Honour the finer-grained hint from the body if
@@ -230,12 +259,15 @@ func main() {
 		cnt.requests.Load(), cnt.accepted.Load(), cnt.rejected.Load(), cnt.errors.Load())
 	fmt.Printf("  trials executed:  %d (%.0f trials/sec)\n", cnt.trialsReturned.Load(), tps)
 	fmt.Printf("  trials lost:      %d (accepted but never streamed)\n", cnt.trialsLost.Load())
-	timings.mu.Lock()
-	fmt.Printf("  request RTT ms:   %s\n", summarize(timings.clientMs))
-	fmt.Printf("  queue wait ms:    %s\n", summarize(timings.queueWait))
-	fmt.Printf("  batch exec ms:    %s\n", summarize(timings.execMs))
-	fmt.Printf("  batch size:       %s\n", summarize(timings.batchSizes))
-	timings.mu.Unlock()
+	merged, err := mergeClientTimings(perClient)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioguard-load: merging latency sketches:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  request RTT ms:   %s\n", summarize(merged.clientMs))
+	fmt.Printf("  queue wait ms:    %s\n", summarize(merged.queueWait))
+	fmt.Printf("  batch exec ms:    %s\n", summarize(merged.execMs))
+	fmt.Printf("  batch size:       %s\n", summarize(merged.batchSize))
 
 	failures := 0
 	check := func(ok bool, format string, args ...any) {
@@ -267,24 +299,13 @@ func main() {
 	}
 }
 
-// summarize renders n/mean/p50/p99/max for a sample.
-func summarize(v []float64) string {
-	if len(v) == 0 {
+// summarize renders n/mean/p50/p99/max from a merged recorder: the
+// count, mean and max are fold-exact across every connection; the
+// quantiles hold to ε·n ranks of the true cross-connection ordering.
+func summarize(s *metrics.Streaming) string {
+	if s.N() == 0 {
 		return "n=0"
 	}
-	s := append([]float64(nil), v...)
-	sort.Float64s(s)
-	var sum float64
-	for _, x := range s {
-		sum += x
-	}
-	pct := func(p float64) float64 {
-		i := int(math.Ceil(p/100*float64(len(s)))) - 1
-		if i < 0 {
-			i = 0
-		}
-		return s[i]
-	}
 	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f",
-		len(s), sum/float64(len(s)), pct(50), pct(99), s[len(s)-1])
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(99), s.Max())
 }

@@ -20,8 +20,10 @@ const nightlyTrials = 1000
 
 // nightlyCaseStudy runs one full Fig. 7 sweep for a VM group in
 // streaming metrics mode — per-trial collector memory stays bounded
-// across the 13-point × 1000-trial grid.
-func nightlyCaseStudy(b *testing.B, vms int) {
+// across the 13-point × 1000-trial grid — and deposits the sweep's
+// merged cross-trial response/tardiness sketches in the capture
+// registry for cmd/ioguard-bench to persist.
+func nightlyCaseStudy(b *testing.B, name string, vms int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, err := experiments.CaseStudy(experiments.CaseStudyConfig{
@@ -37,6 +39,7 @@ func nightlyCaseStudy(b *testing.B, vms int) {
 		if len(points) == 0 {
 			b.Fatal("case study produced no points")
 		}
+		recordSweepSketches(name, points)
 	}
 }
 
@@ -45,8 +48,8 @@ func nightlyCaseStudy(b *testing.B, vms int) {
 func NightlySpecs() []Spec {
 	return []Spec{
 		{Name: "CaseStudy1000/4vm/stream", SlotsPerOp: 0,
-			Bench: func(b *testing.B) { nightlyCaseStudy(b, 4) }},
+			Bench: func(b *testing.B) { nightlyCaseStudy(b, "CaseStudy1000/4vm/stream", 4) }},
 		{Name: "CaseStudy1000/8vm/stream", SlotsPerOp: 0,
-			Bench: func(b *testing.B) { nightlyCaseStudy(b, 8) }},
+			Bench: func(b *testing.B) { nightlyCaseStudy(b, "CaseStudy1000/8vm/stream", 8) }},
 	}
 }

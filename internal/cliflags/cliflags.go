@@ -29,8 +29,9 @@ type Exec struct {
 	// sequential per-shard schedule. Output is identical for any value.
 	ShardWorkers int
 	// Metrics is the collector-mode spelling: exact (buffered, exact
-	// percentiles) or stream (bounded memory, ε-approximate
-	// percentiles).
+	// percentiles), stream (bounded memory, mergeable KLL sketch —
+	// sweeps report merged cross-trial quantiles), or stream-gk (the
+	// pre-KLL Greenwald–Khanna backend, per-trial quantiles only).
 	Metrics string
 	// DrainMin/DrainMax bound the sharded runner's adaptive release-
 	// drain budget (system.Trial.DrainMin/DrainMax); 0 keeps the
@@ -59,7 +60,7 @@ func Register(fs *flag.FlagSet) *Exec {
 	fs.IntVar(&e.ShardWorkers, "shard-workers", 0,
 		"OS threads advancing one trial's device shards in parallel (< 2 = sequential; output is identical for any value)")
 	fs.StringVar(&e.Metrics, "metrics", system.MetricsExact.String(),
-		"collector mode: exact (buffered, exact percentiles) or stream (bounded memory, ε-approximate percentiles)")
+		"collector mode: exact (buffered, exact percentiles), stream (bounded memory, mergeable cross-trial quantiles) or stream-gk (per-trial GK back-compat)")
 	fs.IntVar(&e.DrainMin, "drain-min", 0,
 		"lower bound on the sharded runner's adaptive release-drain budget (0 = built-in; output is identical for any value)")
 	fs.IntVar(&e.DrainMax, "drain-max", 0,

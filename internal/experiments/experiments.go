@@ -288,6 +288,50 @@ func RenderCaseStudy(points []CaseStudyPoint, vms int) string {
 	return b.String()
 }
 
+// RenderCaseStudyQuantiles renders the merged cross-trial response
+// and tardiness distributions of a case-study sweep, one line per
+// (system, util) cell — the opt-in `-quantiles` companion to the
+// Fig. 7 tables (which stay byte-identical across metrics modes). In
+// exact mode the lines are exact; in stream mode they come from the
+// per-cell merged KLL folds at the sketch's ε; in stream-gk mode the
+// cells report that their per-trial sketches cannot merge.
+func RenderCaseStudyQuantiles(points []CaseStudyPoint, vms int) string {
+	type keyT struct {
+		sys  string
+		util float64
+	}
+	cells := map[keyT]*metrics.Aggregate{}
+	utilSet := map[float64]bool{}
+	sysSet := map[string]bool{}
+	for _, p := range points {
+		cells[keyT{p.System, p.Util}] = p.Agg
+		utilSet[p.Util] = true
+		sysSet[p.System] = true
+	}
+	var utils []float64
+	for u := range utilSet {
+		utils = append(utils, u)
+	}
+	sort.Float64s(utils)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7 companion — merged cross-trial response-time quantiles (slots), %d VMs\n", vms)
+	for _, n := range SystemNames() {
+		if !sysSet[n] {
+			continue
+		}
+		fmt.Fprintf(&b, "%s\n", n)
+		for _, u := range utils {
+			agg := cells[keyT{n, u}]
+			if agg == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "  util %.2f  response:  %s\n", u, agg.Response.String())
+			fmt.Fprintf(&b, "            tardiness: %s\n", agg.Tardiness.String())
+		}
+	}
+	return b.String()
+}
+
 // RenderTable1 prints Table I.
 func RenderTable1() (string, error) {
 	rows, err := hw.Table1()

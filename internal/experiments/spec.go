@@ -76,7 +76,12 @@ func RenderTrial(name string, res *metrics.TrialResult) string {
 }
 
 // RenderAggregate prints a sweep's aggregate block exactly as
-// ioguard-sim's -trials N mode does.
+// ioguard-sim's -trials N mode does. The response/tardiness lines are
+// the cross-trial distributions: exact in -metrics exact, fold-exact
+// merged sketches (within ⌈εN⌉ ranks) in -metrics stream, and a
+// per-trial-only note in -metrics stream-gk, whose GK summaries
+// cannot merge. Each mode renders deterministically for any worker
+// count — the fold order is trial order.
 func RenderAggregate(name string, agg *metrics.Aggregate) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "system: %s (%d trials)\n", name, agg.Trials)
@@ -84,5 +89,7 @@ func RenderAggregate(name string, agg *metrics.Aggregate) string {
 	fmt.Fprintf(&b, "  throughput MB/s:  mean=%.3f sd=%.3f min=%.3f max=%.3f\n",
 		agg.Throughput.Mean(), agg.Throughput.StdDev(), agg.Throughput.Min(), agg.Throughput.Max())
 	fmt.Fprintf(&b, "  critical misses:  mean=%.1f max=%.0f per trial\n", agg.Misses.Mean(), agg.Misses.Max())
+	fmt.Fprintf(&b, "  response (slots): %s\n", agg.Response.String())
+	fmt.Fprintf(&b, "  tardiness:        %s\n", agg.Tardiness.String())
 	return b.String()
 }

@@ -1,0 +1,218 @@
+// DistFold: the cross-trial distribution accumulator behind
+// Aggregate. Per-trial recorders arrive in a fixed fold order (trial
+// order — RunCells returns results by input index) and fold by
+// backend:
+//
+//   - exact *Sample recorders fold value-by-value into an exact
+//     cross-trial Sample — the reference the ε·n acceptance band is
+//     measured against;
+//   - KLL-backed *Streaming recorders Merge — counts, moments and
+//     extrema combine exactly, quantiles at the common ε (KLL's bound
+//     survives merging);
+//   - GK-backed *Streaming recorders cannot fold without compounding
+//     ε, so they are counted as unmerged and the fold answers no
+//     quantiles (the -metrics stream-gk back-compat mode).
+//
+// A sweep uses one metrics mode throughout, so in practice exactly
+// one of the three paths populates.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// DistFold accumulates one cross-trial distribution. The zero value
+// is an empty fold ready for AddRecorder.
+type DistFold struct {
+	exact    *Sample
+	merged   *Streaming
+	unmerged int // recorders that could not fold (GK backend)
+}
+
+// unwrapTee peels observation tees off a recorder: the collector
+// wraps its primary recorder in a metrics.Tee when trace sinks or
+// histograms attach, and the fold wants the primary.
+func unwrapTee(r Recorder) Recorder {
+	for {
+		t, ok := r.(*Tee)
+		if !ok {
+			return r
+		}
+		r = t.Recorder
+	}
+}
+
+// AddRecorder folds one trial's recorder. Call in trial order: the
+// merged sketch's state is a pure function of the fold sequence.
+func (f *DistFold) AddRecorder(r Recorder) {
+	if r == nil {
+		return
+	}
+	switch p := unwrapTee(r).(type) {
+	case *Sample:
+		if f.exact == nil {
+			f.exact = &Sample{}
+		}
+		p.Each(f.exact.Add)
+	case *Streaming:
+		if !p.Mergeable() {
+			f.unmerged++
+			return
+		}
+		if f.merged == nil {
+			c, err := p.Clone()
+			if err != nil {
+				f.unmerged++
+				return
+			}
+			f.merged = c
+			return
+		}
+		if err := f.merged.Merge(p); err != nil {
+			f.unmerged++
+		}
+	default:
+		f.unmerged++
+	}
+}
+
+// Merge folds another DistFold into the receiver (aggregate-of-
+// aggregates: per-cell folds combine into a per-sweep fold).
+func (f *DistFold) Merge(o *DistFold) error {
+	if o.exact != nil {
+		if f.exact == nil {
+			f.exact = &Sample{}
+		}
+		o.exact.Each(f.exact.Add)
+	}
+	if o.merged != nil {
+		if f.merged == nil {
+			c, err := o.merged.Clone()
+			if err != nil {
+				return err
+			}
+			f.merged = c
+		} else if err := f.merged.Merge(o.merged); err != nil {
+			return err
+		}
+	}
+	f.unmerged += o.unmerged
+	return nil
+}
+
+// Resolved reports whether the fold can answer distribution queries
+// (at least one recorder folded and none were dropped as unmerged).
+func (f *DistFold) Resolved() bool {
+	return f.unmerged == 0 && (f.exact != nil || f.merged != nil)
+}
+
+// Unmerged returns the count of recorders that could not fold.
+func (f *DistFold) Unmerged() int { return f.unmerged }
+
+// recorder returns the backing recorder, preferring the exact fold.
+func (f *DistFold) recorder() Recorder {
+	if f.exact != nil {
+		return f.exact
+	}
+	if f.merged != nil {
+		return f.merged
+	}
+	return nil
+}
+
+// N returns the total folded observation count.
+func (f *DistFold) N() int {
+	n := 0
+	if f.exact != nil {
+		n += f.exact.N()
+	}
+	if f.merged != nil {
+		n += f.merged.N()
+	}
+	return n
+}
+
+// Mean returns the mean of the folded observations (exact in every
+// resolvable mode), or 0 when empty.
+func (f *DistFold) Mean() float64 {
+	if r := f.recorder(); r != nil {
+		return r.Mean()
+	}
+	return 0
+}
+
+// Max returns the largest folded observation (exact), or 0 when empty.
+func (f *DistFold) Max() float64 {
+	if r := f.recorder(); r != nil {
+		return r.Max()
+	}
+	return 0
+}
+
+// Quantile returns the q-th (q in [0,1]) cross-trial quantile: exact
+// from the exact fold, within ⌈εN⌉ ranks from the merged sketch; 0
+// when the fold is empty or unmerged-only.
+func (f *DistFold) Quantile(q float64) float64 {
+	if r := f.recorder(); r != nil {
+		return r.Percentile(q * 100)
+	}
+	return 0
+}
+
+// Sketch returns the merged KLL-backed recorder, or nil when the fold
+// is exact or empty — the handle the results pipeline serializes into
+// the nightly trajectory.
+func (f *DistFold) Sketch() *Streaming { return f.merged }
+
+// String renders the fold for aggregate tables: a stable one-line
+// summary per fold state.
+func (f *DistFold) String() string {
+	if f.unmerged > 0 {
+		return fmt.Sprintf("per-trial only (%d unmerged sketches; use -metrics stream for merged quantiles)", f.unmerged)
+	}
+	r := f.recorder()
+	if r == nil || r.N() == 0 {
+		return "n=0"
+	}
+	kind := "exact"
+	if f.merged != nil {
+		kind = fmt.Sprintf("merged ε=%g", f.merged.Epsilon())
+	}
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.0f p90=%.0f p99=%.0f max=%.0f [%s]",
+		r.N(), r.Mean(), r.Percentile(50), r.Percentile(90), r.Percentile(99), r.Max(), kind)
+}
+
+// distFoldJSON is the fold's wire form: only the merged sketch ships
+// (the exact fold is a test-time reference, never persisted).
+type distFoldJSON struct {
+	Merged   *Streaming `json:"merged,omitempty"`
+	Unmerged int        `json:"unmerged,omitempty"`
+}
+
+// MarshalJSON serializes the mergeable state. Folds holding an exact
+// reference refuse: persisting megabytes of raw values is what the
+// sketch pipeline exists to avoid.
+func (f *DistFold) MarshalJSON() ([]byte, error) {
+	if f.exact != nil {
+		return nil, fmt.Errorf("metrics: DistFold with exact buffer does not serialize")
+	}
+	return json.Marshal(distFoldJSON{Merged: f.merged, Unmerged: f.unmerged})
+}
+
+// UnmarshalJSON decodes a fold; the embedded recorder revalidates its
+// own invariants (see Streaming.UnmarshalJSON), and the unmerged
+// count must be non-negative.
+func (f *DistFold) UnmarshalJSON(data []byte) error {
+	var w distFoldJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Unmerged < 0 {
+		return fmt.Errorf("metrics: DistFold wire unmerged=%d negative", w.Unmerged)
+	}
+	f.exact = nil
+	f.merged = w.Merged
+	f.unmerged = w.Unmerged
+	return nil
+}

@@ -28,6 +28,16 @@ func (s *Sample) Add(v float64) {
 // AddTime appends a slot-valued observation.
 func (s *Sample) AddTime(t slot.Time) { s.Add(float64(t)) }
 
+// Each visits every buffered observation in insertion order (or
+// sorted order if a Percentile query sorted the buffer first) — the
+// iteration DistFold uses to fold exact per-trial samples into an
+// exact cross-trial reference.
+func (s *Sample) Each(visit func(v float64)) {
+	for _, v := range s.values {
+		visit(v)
+	}
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.values) }
 
@@ -154,12 +164,23 @@ func (t *TrialResult) ThroughputMBps() float64 {
 }
 
 // Aggregate summarizes many trials of one configuration: the success
-// ratio across trials and the distribution of throughput.
+// ratio across trials, the distribution of throughput, and — when the
+// trial recorders support folding — the merged cross-trial response
+// and tardiness distributions.
 type Aggregate struct {
 	Trials     int
 	Successes  int
 	Throughput Sample // MB/s per trial
 	Misses     Sample // critical misses per trial
+	// Response and Tardiness fold the per-trial completion
+	// distributions across the whole sweep: exact Samples fold into an
+	// exact reference, KLL-backed Streaming recorders Merge without
+	// degrading ε, GK-backed recorders cannot fold and are counted as
+	// unmerged. AddTrial folds in call order, so an aggregate built in
+	// trial order is a pure function of the trial sequence — the
+	// byte-identical-for-any-workers contract extends to quantiles.
+	Response  DistFold
+	Tardiness DistFold
 }
 
 // AddTrial folds one trial into the aggregate.
@@ -170,6 +191,8 @@ func (a *Aggregate) AddTrial(t *TrialResult) {
 	}
 	a.Throughput.Add(t.ThroughputMBps())
 	a.Misses.Add(float64(t.CriticalMisses))
+	a.Response.AddRecorder(t.Response)
+	a.Tardiness.AddRecorder(t.Tardiness)
 }
 
 // SuccessRatio returns the fraction of successful trials in [0,1].

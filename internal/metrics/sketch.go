@@ -1,0 +1,56 @@
+// The quantile-sketch abstraction behind the streaming recorders. Two
+// backends implement it:
+//
+//   - GKSketch — the original Greenwald–Khanna summary: tightest
+//     per-stream memory, but two GK summaries cannot be folded without
+//     compounding ε, so it stays a *per-trial* backend (kept for
+//     back-compat behind -metrics stream-gk).
+//   - KLL — the mergeable sketch (Karnin–Lang–Liberty, FOCS'16):
+//     Merge combines two summaries without degrading the advertised
+//     rank-error bound, which is what lets ParallelSweep fold
+//     per-trial distributions into per-cell and per-sweep aggregates
+//     and lets the nightly trajectory accumulate a true latency
+//     distribution across runs.
+//
+// Every sketch is deterministic: KLL's compaction coins come from a
+// per-sketch SplitMix64 stream seeded from trial identity (never the
+// math/rand global), so a sweep's merged sketch is a pure function of
+// (seeds, fold order) and rendered output is byte-identical for any
+// worker count.
+package metrics
+
+// Sketch is an ε-approximate quantile summary: bounded memory,
+// rank-error ≤ ⌈εn⌉ on every quantile query.
+type Sketch interface {
+	// Add absorbs one observation.
+	Add(v float64)
+	// N returns the number of observations absorbed.
+	N() int64
+	// Quantile returns a value whose rank among the observations is
+	// within ⌈εn⌉ of the nearest-rank target ⌈q·n⌉ (q in [0,1]).
+	// Empty sketches return 0, matching Sample's convention.
+	Quantile(q float64) float64
+	// Epsilon returns the advertised rank-error bound.
+	Epsilon() float64
+	// Tuples returns the current summary size in retained items (for
+	// memory accounting in tests and benchmarks).
+	Tuples() int
+}
+
+// MergeableSketch is a Sketch whose summaries fold: Merge absorbs
+// another summary of the same ε without compounding the bound, so
+// K-way merges of per-trial sketches still answer within ⌈εn⌉ ranks
+// of the combined stream.
+type MergeableSketch interface {
+	Sketch
+	// Merge folds other into the receiver. It fails when the sketches
+	// are incompatible (different ε or backend); the receiver is
+	// unchanged on error.
+	Merge(other Sketch) error
+}
+
+// Compile-time conformance of the two backends.
+var (
+	_ Sketch          = (*GKSketch)(nil)
+	_ MergeableSketch = (*KLL)(nil)
+)

@@ -1,38 +1,61 @@
 // Streaming: the bounded-memory Recorder. Moments come from
 // Welford's online algorithm (numerically stable running mean and sum
 // of squared deviations), extrema are tracked exactly, and
-// percentiles come from a Greenwald–Khanna sketch — so a recorder's
-// memory is independent of how many observations flow through it,
-// which is what makes paper-scale 1000-trial × 100 s sweeps tractable
-// without buffering every completion.
+// percentiles come from a quantile Sketch — so a recorder's memory is
+// independent of how many observations flow through it, which is what
+// makes paper-scale 1000-trial × 100 s sweeps tractable without
+// buffering every completion. With the KLL backend (NewStreamingKLL)
+// two recorders also Merge exactly: moments combine by the parallel
+// Welford update, extrema by min/max, and the sketches fold without
+// degrading ε — the primitive behind cross-trial sweep quantiles.
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
 
 // Streaming accumulates scalar observations in bounded memory: exact
 // n/mean/variance/min/max, ε-approximate percentiles. Construct with
-// NewStreaming; the zero value is not usable (the sketch needs its ε).
+// NewStreaming (per-trial GK backend) or NewStreamingKLL (mergeable
+// backend); the zero value is not usable (the sketch needs its ε).
 type Streaming struct {
 	n      int64
 	mean   float64
 	m2     float64 // sum of squared deviations from the running mean
 	min    float64
 	max    float64
-	sketch *GKSketch
+	sketch Sketch
 }
 
 // NewStreaming returns an empty streaming recorder whose percentile
 // queries are accurate to eps ranks per observation (≤ 0 selects
-// DefaultSketchEpsilon).
+// DefaultSketchEpsilon). The quantile backend is the per-trial GK
+// sketch, which cannot Merge; use NewStreamingKLL for recorders that
+// fold into sweep aggregates.
 func NewStreaming(eps float64) *Streaming {
 	return &Streaming{sketch: NewGKSketch(eps)}
 }
 
+// NewStreamingKLL returns an empty streaming recorder backed by the
+// mergeable KLL sketch, its compaction coins seeded from seed (pass
+// the trial seed so the recorder is a pure function of trial
+// identity). Merge on such recorders is fold-exact: the merged ε is
+// the common ε, not a sum.
+func NewStreamingKLL(eps float64, seed uint64) *Streaming {
+	return &Streaming{sketch: NewKLL(eps, seed)}
+}
+
 // Epsilon returns the percentile sketch's rank-error bound.
 func (s *Streaming) Epsilon() float64 { return s.sketch.Epsilon() }
+
+// Mergeable reports whether this recorder's quantile backend supports
+// fold-exact Merge (true for the KLL backend, false for GK).
+func (s *Streaming) Mergeable() bool {
+	_, ok := s.sketch.(MergeableSketch)
+	return ok
+}
 
 // SketchTuples returns the quantile sketch's current summary size
 // (for memory accounting in tests and benchmarks).
@@ -107,4 +130,126 @@ func (s *Streaming) Percentile(p float64) float64 {
 func (s *Streaming) String() string {
 	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f min=%.0f p99=%.0f max=%.0f",
 		s.N(), s.Mean(), s.StdDev(), s.Min(), s.Percentile(99), s.Max())
+}
+
+// Merge folds other into the receiver: counts add, moments combine by
+// the parallel Welford update, extrema by min/max, and the quantile
+// sketches Merge (which requires both recorders to carry the
+// mergeable KLL backend at the same ε). The receiver is unchanged on
+// error. Folding a fixed sequence of recorders in a fixed order is
+// deterministic, so sweep aggregates render byte-identically for any
+// worker count.
+func (s *Streaming) Merge(other *Streaming) error {
+	ms, ok := s.sketch.(MergeableSketch)
+	if !ok {
+		return fmt.Errorf("metrics: Merge target has non-mergeable %T backend", s.sketch)
+	}
+	if other.n == 0 {
+		// Still fold the coin stream so aggregate identity covers
+		// every trial, observed or not.
+		return ms.Merge(other.sketch)
+	}
+	if err := ms.Merge(other.sketch); err != nil {
+		return err
+	}
+	if s.n == 0 {
+		s.min, s.max = other.min, other.max
+	} else {
+		if other.min < s.min {
+			s.min = other.min
+		}
+		if other.max > s.max {
+			s.max = other.max
+		}
+	}
+	n := s.n + other.n
+	delta := other.mean - s.mean
+	s.mean += delta * float64(other.n) / float64(n)
+	s.m2 += other.m2 + delta*delta*float64(s.n)*float64(other.n)/float64(n)
+	s.n = n
+	return nil
+}
+
+// Clone returns a deep copy of a KLL-backed recorder (aggregates
+// clone the first folded trial rather than aliasing it). GK-backed
+// recorders cannot be cloned — they exist per trial only.
+func (s *Streaming) Clone() (*Streaming, error) {
+	k, ok := s.sketch.(*KLL)
+	if !ok {
+		return nil, fmt.Errorf("metrics: cannot clone recorder with %T backend", s.sketch)
+	}
+	c := *s
+	c.sketch = k.Clone()
+	return &c, nil
+}
+
+// streamingJSON is the recorder's wire form. Only KLL-backed
+// recorders round-trip: serialization exists so sweeps can persist
+// merged distributions, and only the mergeable backend has a lossless
+// mergeable state worth shipping.
+type streamingJSON struct {
+	N      int64           `json:"n"`
+	Mean   float64         `json:"mean"`
+	M2     float64         `json:"m2"`
+	Min    float64         `json:"min"`
+	Max    float64         `json:"max"`
+	Sketch json.RawMessage `json:"sketch"`
+}
+
+// MarshalJSON serializes a KLL-backed recorder.
+func (s *Streaming) MarshalJSON() ([]byte, error) {
+	k, ok := s.sketch.(*KLL)
+	if !ok {
+		return nil, fmt.Errorf("metrics: cannot marshal recorder with %T backend", s.sketch)
+	}
+	sk, err := json.Marshal(k)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(streamingJSON{
+		N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max, Sketch: sk,
+	})
+}
+
+// UnmarshalJSON decodes a KLL-backed recorder, revalidating every
+// wire claim: the sketch's own invariants (see KLL.UnmarshalJSON),
+// the moment fields' finiteness, m2 ≥ 0, min ≤ max, and n equal to
+// the sketch's recomputed observation count. See
+// TestStreamingUnmarshalRejectsMalformed for the case table.
+func (s *Streaming) UnmarshalJSON(data []byte) error {
+	var w streamingJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Sketch) == 0 {
+		return fmt.Errorf("metrics: recorder wire form missing sketch")
+	}
+	k := &KLL{}
+	if err := json.Unmarshal(w.Sketch, k); err != nil {
+		return err
+	}
+	if w.N != k.N() {
+		return fmt.Errorf("metrics: recorder wire n=%d disagrees with sketch n=%d", w.N, k.N())
+	}
+	for _, f := range [...]float64{w.Mean, w.M2, w.Min, w.Max} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("metrics: recorder wire holds non-finite moment")
+		}
+	}
+	if w.M2 < 0 {
+		return fmt.Errorf("metrics: recorder wire m2=%g negative", w.M2)
+	}
+	if w.N > 0 && w.Min > w.Max {
+		return fmt.Errorf("metrics: recorder wire min=%g exceeds max=%g", w.Min, w.Max)
+	}
+	if w.N == 0 && (w.Mean != 0 || w.M2 != 0 || w.Min != 0 || w.Max != 0) {
+		return fmt.Errorf("metrics: recorder wire empty but moments nonzero")
+	}
+	s.n = w.N
+	s.mean = w.Mean
+	s.m2 = w.M2
+	s.min = w.Min
+	s.max = w.Max
+	s.sketch = k
+	return nil
 }

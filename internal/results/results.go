@@ -1,0 +1,289 @@
+// Package results owns the machine-readable benchmark record:
+// BENCH_sim.json's report and trajectory schemas, their validation,
+// and the fleet-scale analysis the ioguard-report command renders.
+//
+// Schema history:
+//
+//   - ioguard/bench_sim/v1 — one benchmark run: results, derived
+//     speedup pairs, slot-table footprints.
+//   - ioguard/bench_sim/v2 — v1 plus sweep_sketches: serialized
+//     merged KLL recorders of the nightly sweeps' response/tardiness
+//     distributions, so the trajectory accumulates true cross-trial
+//     latency distributions over time instead of only wall-clock
+//     numbers. v1 payloads (reports and trajectories, and the mixed
+//     trajectories a v1→v2 transition produces) still decode — the
+//     new fields are additive.
+//
+// Decoding never trusts wire state: schemas must be known, embedded
+// sketches revalidate their own invariants (metrics.Streaming /
+// metrics.KLL UnmarshalJSON), and per-run sanity checks (names
+// non-empty, counts non-negative) run before any analysis.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"ioguard/internal/footprint"
+	"ioguard/internal/metrics"
+)
+
+// Schema identifiers. Encoding always writes the current (v2) forms;
+// decoding accepts both versions.
+const (
+	ReportSchemaV1     = "ioguard/bench_sim/v1"
+	ReportSchema       = "ioguard/bench_sim/v2"
+	TrajectorySchemaV1 = "ioguard/bench_sim_trajectory/v1"
+	TrajectorySchema   = "ioguard/bench_sim_trajectory/v2"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SlotsPerOp is how many simulated slots one iteration advances
+	// (0 when not meaningful, e.g. queue micro-benchmarks).
+	SlotsPerOp  int64   `json:"slots_per_op,omitempty"`
+	SlotsPerSec float64 `json:"slots_per_sec,omitempty"`
+}
+
+// Speedup compares the dense variant of one benchmark pair against
+// its optimized sibling — the fast-forward protocol for engine-level
+// pairs, or the run-length interval table for the Slot* pairs.
+type Speedup struct {
+	Name          string  `json:"name"`
+	DenseNsPerOp  float64 `json:"dense_ns_per_op"`
+	FFNsPerOp     float64 `json:"fastforward_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+	DenseSlotsSec float64 `json:"dense_slots_per_sec,omitempty"`
+	FFSlotsSec    float64 `json:"fastforward_slots_per_sec,omitempty"`
+}
+
+// SweepSketch is one nightly sweep's merged cross-trial distribution
+// for one system: the per-trial KLL recorders of every (utilization,
+// trial) cell folded in canonical order. The (Suite, Sweep, System)
+// triple is the grouping key ioguard-report tracks across runs.
+type SweepSketch struct {
+	Suite  string `json:"suite"`  // e.g. "nightly"
+	Sweep  string `json:"sweep"`  // e.g. "CaseStudy1000/4vm/stream"
+	System string `json:"system"` // e.g. "I/O-GUARD-70"
+	Trials int    `json:"trials"` // trials folded into the sketches
+	// SuccessRatio and ThroughputMean carry the sweep's headline
+	// scalars so report tables need no re-simulation.
+	SuccessRatio   float64 `json:"success_ratio"`
+	ThroughputMean float64 `json:"throughput_mean_mbps"`
+	// Response and Tardiness are the merged recorders (slots). Either
+	// may be nil when a sweep recorded no completions.
+	Response  *metrics.Streaming `json:"response,omitempty"`
+	Tardiness *metrics.Streaming `json:"tardiness,omitempty"`
+}
+
+// Report is one benchmark run — the ioguard/bench_sim/v2 schema, and
+// one element of a trajectory's runs array.
+type Report struct {
+	Schema    string    `json:"schema"`
+	Timestamp string    `json:"timestamp,omitempty"`
+	Suite     string    `json:"suite,omitempty"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	BenchTime string    `json:"benchtime"`
+	Results   []Result  `json:"results"`
+	Speedups  []Speedup `json:"speedups,omitempty"`
+	// SlotTables pairs the σ* encodings' memory footprints at the
+	// avionics stress cell (H = 4M slots), complementing the Slot*
+	// latency pairs in Speedups.
+	SlotTables []footprint.SlotTableRow `json:"slot_tables,omitempty"`
+	// SweepSketches are the nightly sweeps' merged latency
+	// distributions (v2; absent from v1 runs).
+	SweepSketches []SweepSketch `json:"sweep_sketches,omitempty"`
+}
+
+// Trajectory accumulates one Report per invocation: the
+// perf-over-PRs record the nightly CI job maintains.
+type Trajectory struct {
+	Schema string   `json:"schema"`
+	Runs   []Report `json:"runs"`
+}
+
+// Validate sanity-checks one run beyond what decoding enforced.
+func (r *Report) Validate() error {
+	switch r.Schema {
+	case ReportSchema, ReportSchemaV1:
+	default:
+		return fmt.Errorf("results: run has unknown schema %q", r.Schema)
+	}
+	for i, res := range r.Results {
+		if res.Name == "" {
+			return fmt.Errorf("results: result %d has empty name", i)
+		}
+		if res.Iterations < 0 || res.NsPerOp < 0 || res.AllocsPerOp < 0 || res.BytesPerOp < 0 {
+			return fmt.Errorf("results: result %q has negative measurement", res.Name)
+		}
+	}
+	for i, s := range r.Speedups {
+		if s.Name == "" {
+			return fmt.Errorf("results: speedup %d has empty name", i)
+		}
+		if s.Speedup < 0 || s.DenseNsPerOp < 0 || s.FFNsPerOp < 0 {
+			return fmt.Errorf("results: speedup %q has negative measurement", s.Name)
+		}
+	}
+	for i, sk := range r.SweepSketches {
+		if sk.Sweep == "" || sk.System == "" {
+			return fmt.Errorf("results: sweep sketch %d missing sweep/system key", i)
+		}
+		if sk.Trials < 0 {
+			return fmt.Errorf("results: sweep sketch %q/%q has negative trials", sk.Sweep, sk.System)
+		}
+		if sk.SuccessRatio < 0 || sk.SuccessRatio > 1 {
+			return fmt.Errorf("results: sweep sketch %q/%q success ratio %g outside [0,1]",
+				sk.Sweep, sk.System, sk.SuccessRatio)
+		}
+		// Sketch invariants were revalidated by Streaming.UnmarshalJSON
+		// during decode; here only cross-field consistency remains.
+		if sk.Response != nil && sk.Trials == 0 && sk.Response.N() > 0 {
+			return fmt.Errorf("results: sweep sketch %q/%q has observations but zero trials",
+				sk.Sweep, sk.System)
+		}
+	}
+	return nil
+}
+
+// Key returns the sketch's grouping key.
+func (s *SweepSketch) Key() string {
+	suite := s.Suite
+	if suite == "" {
+		suite = "default"
+	}
+	return suite + "/" + s.Sweep + "/" + s.System
+}
+
+// DecodeTrajectory parses data as either a trajectory (v1 or v2) or a
+// bare single report (v1 or v2), normalizing the latter into a
+// one-run trajectory. Every run is validated.
+func DecodeTrajectory(data []byte) (*Trajectory, error) {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("results: unreadable payload: %w", err)
+	}
+	traj := &Trajectory{Schema: TrajectorySchema}
+	switch probe.Schema {
+	case TrajectorySchema, TrajectorySchemaV1:
+		if err := json.Unmarshal(data, traj); err != nil {
+			return nil, fmt.Errorf("results: bad trajectory: %w", err)
+		}
+	case ReportSchema, ReportSchemaV1:
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("results: bad report: %w", err)
+		}
+		traj.Runs = append(traj.Runs, rep)
+	default:
+		return nil, fmt.Errorf("results: unknown schema %q", probe.Schema)
+	}
+	for i := range traj.Runs {
+		if err := traj.Runs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("results: run %d: %w", i, err)
+		}
+	}
+	return traj, nil
+}
+
+// LoadTrajectory reads and decodes path.
+func LoadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTrajectory(data)
+}
+
+// AppendRun folds rep into the trajectory at path and returns the
+// encoded bytes: an existing trajectory file (either version) gains
+// one run, an existing single-report file is wrapped as the first
+// run, and a missing file starts a fresh trajectory. The written
+// schema is always the current version; earlier runs ride along
+// unmodified.
+func AppendRun(path string, rep Report) ([]byte, error) {
+	traj := &Trajectory{Schema: TrajectorySchema}
+	if data, err := os.ReadFile(path); err == nil {
+		traj, err = DecodeTrajectory(data)
+		if err != nil {
+			return nil, fmt.Errorf("results: existing %s: %w", path, err)
+		}
+		traj.Schema = TrajectorySchema
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	traj.Runs = append(traj.Runs, rep)
+	return json.MarshalIndent(traj, "", "  ")
+}
+
+// Speedups pairs every <base>/dense and <base>/globalmin result with
+// its <base>/fastforward sibling — or, for the slot-table pairs that
+// have no engine variant, the <base>/interval sibling — and every
+// <base>/parshard result with the same sibling as its baseline. The
+// Dense* fields hold the baseline variant's numbers; for "/globalmin"
+// entries that baseline is the single-clock fast-forward rather than
+// dense stepping, so the ratio isolates what the per-device clock
+// decoupling buys on its own; for "/parshard" entries it is the
+// single-thread sharded fast-forward, so the ratio is the
+// epoch-barrier executor's pure wall-clock win (≈1 on single-core
+// hosts).
+func Speedups(results []Result) []Speedup {
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	var out []Speedup
+	for _, r := range results {
+		for _, suffix := range []string{"/dense", "/globalmin"} {
+			base, ok := strings.CutSuffix(r.Name, suffix)
+			if !ok {
+				continue
+			}
+			ff, ok := byName[base+"/fastforward"]
+			if !ok {
+				ff, ok = byName[base+"/interval"]
+			}
+			if !ok || ff.NsPerOp == 0 {
+				continue
+			}
+			name := base
+			if suffix == "/globalmin" {
+				name = base + "/globalmin"
+			}
+			out = append(out, Speedup{
+				Name:          name,
+				DenseNsPerOp:  r.NsPerOp,
+				FFNsPerOp:     ff.NsPerOp,
+				Speedup:       r.NsPerOp / ff.NsPerOp,
+				DenseSlotsSec: r.SlotsPerSec,
+				FFSlotsSec:    ff.SlotsPerSec,
+			})
+		}
+		if base, ok := strings.CutSuffix(r.Name, "/parshard"); ok {
+			seq, ok := byName[base+"/fastforward"]
+			if ok && r.NsPerOp > 0 {
+				out = append(out, Speedup{
+					Name:          base + "/parshard",
+					DenseNsPerOp:  seq.NsPerOp,
+					FFNsPerOp:     r.NsPerOp,
+					Speedup:       seq.NsPerOp / r.NsPerOp,
+					DenseSlotsSec: seq.SlotsPerSec,
+					FFSlotsSec:    r.SlotsPerSec,
+				})
+			}
+		}
+	}
+	return out
+}

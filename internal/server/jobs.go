@@ -73,7 +73,14 @@ type Job struct {
 }
 
 // Status snapshots the job for GET /v1/sweeps/{id}.
-func (j *Job) Status() SweepStatus {
+func (j *Job) Status() SweepStatus { return j.status(false) }
+
+// StatusWithSketches is Status plus the serialized merged
+// response/tardiness sketches in the aggregate — the
+// GET /v1/sweeps/{id}?sketch=1 payload for streaming-mode sweeps.
+func (j *Job) StatusWithSketches() SweepStatus { return j.status(true) }
+
+func (j *Job) status(withSketches bool) SweepStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := SweepStatus{
@@ -87,7 +94,7 @@ func (j *Job) Status() SweepStatus {
 		st.Error = j.err.Error()
 	}
 	if j.state == JobDone && j.agg != nil {
-		st.Aggregate = toAggregate(j.norm.req.System, j.agg)
+		st.Aggregate = toAggregate(j.norm.req.System, j.agg, withSketches)
 	}
 	return st
 }

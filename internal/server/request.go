@@ -10,6 +10,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"ioguard/internal/experiments"
@@ -41,8 +42,11 @@ type TrialRequest struct {
 	Trials int `json:"trials,omitempty"`
 	// Dense disables the fast-forward (output is identical either way).
 	Dense bool `json:"dense,omitempty"`
-	// Metrics selects the collector mode: "exact" (default) or
-	// "stream".
+	// Metrics selects the collector mode: "exact" (default, buffered
+	// exact percentiles), "stream" (bounded memory, mergeable KLL —
+	// sweep aggregates carry true cross-trial quantiles) or
+	// "stream-gk" (per-trial GK back-compat; sweep quantiles stay
+	// per-trial only).
 	Metrics string `json:"metrics,omitempty"`
 	// ShardWorkers sets Trial.ShardWorkers: OS threads advancing one
 	// trial's device shards in parallel (< 2 = sequential; output is
@@ -201,13 +205,51 @@ func toResponse(sys string, index int, seed int64, res *metrics.TrialResult, tm 
 // SweepStatus is the body of GET /v1/sweeps/{id}: the job's lifecycle
 // state and, once done, the rendered aggregate.
 type SweepStatus struct {
-	ID        string  `json:"id"`
-	State     string  `json:"state"` // queued | running | done | failed
-	System    string  `json:"system"`
-	Trials    int     `json:"trials"`
-	Completed int     `json:"completed"`
-	Error     string  `json:"error,omitempty"`
+	ID        string          `json:"id"`
+	State     string          `json:"state"` // queued | running | done | failed
+	System    string          `json:"system"`
+	Trials    int             `json:"trials"`
+	Completed int             `json:"completed"`
+	Error     string          `json:"error,omitempty"`
 	Aggregate *SweepAggregate `json:"aggregate,omitempty"`
+}
+
+// DistSummary flattens one merged cross-trial distribution
+// (metrics.DistFold) for the sweep payload. Epsilon is the sketch's
+// rank-error bound (0 means the fold was exact); a nonzero Unmerged
+// count means the sweep ran in a mode whose per-trial sketches cannot
+// fold (stream-gk) and no cross-trial quantiles exist.
+type DistSummary struct {
+	N        int     `json:"n"`
+	Mean     float64 `json:"mean"`
+	P50      float64 `json:"p50"`
+	P90      float64 `json:"p90"`
+	P99      float64 `json:"p99"`
+	Max      float64 `json:"max"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
+	Unmerged int     `json:"unmerged,omitempty"`
+}
+
+// distSummary snapshots a fold, or nil when it is empty.
+func distSummary(f *metrics.DistFold) *DistSummary {
+	if f.Unmerged() > 0 {
+		return &DistSummary{Unmerged: f.Unmerged()}
+	}
+	if f.N() == 0 {
+		return nil
+	}
+	d := &DistSummary{
+		N:    f.N(),
+		Mean: f.Mean(),
+		P50:  f.Quantile(0.50),
+		P90:  f.Quantile(0.90),
+		P99:  f.Quantile(0.99),
+		Max:  f.Max(),
+	}
+	if sk := f.Sketch(); sk != nil {
+		d.Epsilon = sk.Epsilon()
+	}
+	return d
 }
 
 // SweepAggregate summarizes a finished sweep.
@@ -219,13 +261,23 @@ type SweepAggregate struct {
 	ThroughputSD   float64 `json:"throughput_sd_mbps"`
 	MissesMean     float64 `json:"misses_mean"`
 	MissesMax      float64 `json:"misses_max"`
+	// Response/Tardiness summarize the merged cross-trial latency
+	// distributions (slots). Present when any trial folded.
+	Response  *DistSummary `json:"response,omitempty"`
+	Tardiness *DistSummary `json:"tardiness,omitempty"`
+	// ResponseSketch/TardinessSketch are the serialized merged KLL
+	// recorders, included only on GET /v1/sweeps/{id}?sketch=1 for
+	// streaming-mode sweeps — a client can decode them into
+	// metrics.Streaming and keep merging across sweeps.
+	ResponseSketch  json.RawMessage `json:"response_sketch,omitempty"`
+	TardinessSketch json.RawMessage `json:"tardiness_sketch,omitempty"`
 	// Rendered is the aggregate block exactly as ioguard-sim's
 	// -trials N mode prints it (experiments.RenderAggregate).
 	Rendered string `json:"rendered"`
 }
 
-func toAggregate(sys string, agg *metrics.Aggregate) *SweepAggregate {
-	return &SweepAggregate{
+func toAggregate(sys string, agg *metrics.Aggregate, withSketches bool) *SweepAggregate {
+	sa := &SweepAggregate{
 		Trials:         agg.Trials,
 		Successes:      agg.Successes,
 		SuccessRatio:   agg.SuccessRatio(),
@@ -233,6 +285,21 @@ func toAggregate(sys string, agg *metrics.Aggregate) *SweepAggregate {
 		ThroughputSD:   agg.Throughput.StdDev(),
 		MissesMean:     agg.Misses.Mean(),
 		MissesMax:      agg.Misses.Max(),
+		Response:       distSummary(&agg.Response),
+		Tardiness:      distSummary(&agg.Tardiness),
 		Rendered:       experiments.RenderAggregate(sys, agg),
 	}
+	if withSketches {
+		if sk := agg.Response.Sketch(); sk != nil {
+			if raw, err := json.Marshal(sk); err == nil {
+				sa.ResponseSketch = raw
+			}
+		}
+		if sk := agg.Tardiness.Sketch(); sk != nil {
+			if raw, err := json.Marshal(sk); err == nil {
+				sa.TardinessSketch = raw
+			}
+		}
+	}
+	return sa
 }

@@ -214,6 +214,10 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such sweep"})
 		return
 	}
+	if r.URL.Query().Get("sketch") == "1" {
+		writeJSON(w, http.StatusOK, j.StatusWithSketches())
+		return
+	}
 	writeJSON(w, http.StatusOK, j.Status())
 }
 

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"ioguard/internal/metrics"
 	"ioguard/internal/system"
 )
 
@@ -366,6 +367,85 @@ func TestSweepJobLifecycle(t *testing.T) {
 	nf.Body.Close()
 	if nf.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown id: status %d, want 404", nf.StatusCode)
+	}
+}
+
+// runSweep submits a sweep in the given metrics mode, waits for it,
+// and returns the final status fetched from url + query.
+func runSweep(t *testing.T, hts *httptest.Server, mode string, query string) SweepStatus {
+	t.Helper()
+	req := lightRequest(4)
+	req["metrics"] = mode
+	resp := postJSON(t, hts.URL+"/v1/sweeps", req)
+	var st SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+	wresp, err := http.Get(hts.URL + "/v1/sweeps/" + st.ID + "/results?wait=1")
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	wresp.Body.Close()
+	sresp, err := http.Get(hts.URL + "/v1/sweeps/" + st.ID + query)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	defer sresp.Body.Close()
+	var final SweepStatus
+	if err := json.NewDecoder(sresp.Body).Decode(&final); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	return final
+}
+
+// TestSweepAggregateDistSummaries: the sweep payload carries merged
+// cross-trial quantile summaries per metrics mode — exact folds with
+// ε=0, streaming folds at the sketch's ε, GK folds answer nothing —
+// and ?sketch=1 attaches a serialized sketch that decodes back into a
+// recorder agreeing with the summary.
+func TestSweepAggregateDistSummaries(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	exact := runSweep(t, hts, "exact", "")
+	if exact.Aggregate == nil || exact.Aggregate.Response == nil {
+		t.Fatalf("exact sweep missing response summary: %+v", exact.Aggregate)
+	}
+	if d := exact.Aggregate.Response; d.Epsilon != 0 || d.N == 0 || d.P50 > d.P99 || d.P99 > d.Max {
+		t.Fatalf("exact response summary inconsistent: %+v", d)
+	}
+	if len(exact.Aggregate.ResponseSketch) != 0 {
+		t.Fatalf("exact sweep leaked a serialized sketch without ?sketch=1")
+	}
+
+	stream := runSweep(t, hts, "stream", "?sketch=1")
+	d := stream.Aggregate.Response
+	if d == nil || d.Epsilon <= 0 || d.Unmerged != 0 {
+		t.Fatalf("stream response summary not merged: %+v", d)
+	}
+	if d.N != exact.Aggregate.Response.N {
+		t.Fatalf("stream folded %d observations, exact folded %d", d.N, exact.Aggregate.Response.N)
+	}
+	if len(stream.Aggregate.ResponseSketch) == 0 {
+		t.Fatalf("?sketch=1 returned no serialized response sketch")
+	}
+	var dec metrics.Streaming
+	if err := json.Unmarshal(stream.Aggregate.ResponseSketch, &dec); err != nil {
+		t.Fatalf("serialized sketch does not decode: %v", err)
+	}
+	if dec.N() != int(d.N) || dec.Percentile(99) != d.P99 {
+		t.Fatalf("decoded sketch (n=%d p99=%g) disagrees with summary %+v", dec.N(), dec.Percentile(99), d)
+	}
+
+	gk := runSweep(t, hts, "stream-gk", "?sketch=1")
+	if d := gk.Aggregate.Response; d == nil || d.Unmerged == 0 {
+		t.Fatalf("stream-gk summary should report unmerged sketches: %+v", d)
+	}
+	if len(gk.Aggregate.ResponseSketch) != 0 {
+		t.Fatalf("stream-gk sweep has no mergeable sketch to serialize")
 	}
 }
 

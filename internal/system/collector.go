@@ -12,11 +12,17 @@
 //     byte-identical to the pre-streaming collector. Memory grows
 //     O(completions) with the horizon.
 //   - MetricsStream: bounded-memory metrics.Streaming recorders
-//     (Welford moments, exact min/max, Greenwald–Khanna percentile
-//     sketch) and no completion log — collector memory is independent
-//     of the horizon. Counts, misses, bytes and throughput stay
+//     (Welford moments, exact min/max, mergeable KLL percentile
+//     sketch seeded from the trial seed) and no completion log —
+//     collector memory is independent of the horizon, and the
+//     per-trial recorders fold into cross-trial sweep aggregates
+//     without degrading ε. Counts, misses, bytes and throughput stay
 //     exact; only percentile queries carry the sketch's documented
 //     ε rank error.
+//   - MetricsStreamGK: the pre-KLL streaming collector — same bounded
+//     memory, Greenwald–Khanna percentile sketch. GK summaries cannot
+//     merge, so sweep aggregates report no cross-trial quantiles;
+//     kept for back-compat comparison behind -metrics stream-gk.
 package system
 
 import (
@@ -34,6 +40,7 @@ type MetricsMode uint8
 const (
 	MetricsExact MetricsMode = iota
 	MetricsStream
+	MetricsStreamGK
 )
 
 // String returns the CLI spelling of the mode.
@@ -43,6 +50,8 @@ func (m MetricsMode) String() string {
 		return "exact"
 	case MetricsStream:
 		return "stream"
+	case MetricsStreamGK:
+		return "stream-gk"
 	default:
 		return fmt.Sprintf("mode(%d)", uint8(m))
 	}
@@ -55,8 +64,10 @@ func ParseMetricsMode(s string) (MetricsMode, error) {
 		return MetricsExact, nil
 	case "stream", "streaming":
 		return MetricsStream, nil
+	case "stream-gk", "gk":
+		return MetricsStreamGK, nil
 	default:
-		return MetricsExact, fmt.Errorf("system: unknown metrics mode %q (want exact|stream)", s)
+		return MetricsExact, fmt.Errorf("system: unknown metrics mode %q (want exact|stream|stream-gk)", s)
 	}
 }
 
@@ -72,6 +83,11 @@ type completion struct {
 // NewStreamCollector selects the bounded-memory mode.
 type Collector struct {
 	mode MetricsMode
+	// seed identifies the trial for the mergeable mode's sketch
+	// coins; sketchSeq distinguishes the collector's recorders
+	// (response, tardiness, per-task) within that identity.
+	seed      uint64
+	sketchSeq uint64
 	// done is the exact mode's completion log, retained for Each and
 	// the ByTask replay; streaming mode keeps no per-completion state.
 	done []completion
@@ -110,7 +126,17 @@ func NewStreamCollector() *Collector { return NewCollectorFor(MetricsStream, 0) 
 // NewCollectorFor returns a collector in the given mode; n sizes the
 // exact mode's completion log and is ignored in streaming mode.
 func NewCollectorFor(mode MetricsMode, n int) *Collector {
-	c := &Collector{mode: mode}
+	return NewSeededCollectorFor(mode, n, 0)
+}
+
+// NewSeededCollectorFor is NewCollectorFor with the trial identity:
+// seed drives the mergeable mode's sketch coins, so a trial's
+// recorders — and any aggregate folded from them — are a pure
+// function of (seed, completion sequence). Run threads Trial.Seed
+// here; the unseeded constructors keep seed 0 for callers outside a
+// trial.
+func NewSeededCollectorFor(mode MetricsMode, n int, seed int64) *Collector {
+	c := &Collector{mode: mode, seed: uint64(seed)}
 	if mode == MetricsExact {
 		if n < 0 {
 			n = 0
@@ -129,10 +155,18 @@ func (c *Collector) Mode() MetricsMode { return c.mode }
 
 // newRecorder builds one scalar recorder for the collector's mode.
 func (c *Collector) newRecorder() metrics.Recorder {
-	if c.mode == MetricsStream {
+	switch c.mode {
+	case MetricsStream:
+		// Distinct deterministic seed per recorder: mix the trial
+		// identity with the recorder ordinal.
+		s := c.seed + (c.sketchSeq+1)*0x9E3779B97F4A7C15
+		c.sketchSeq++
+		return metrics.NewStreamingKLL(metrics.DefaultSketchEpsilon, s)
+	case MetricsStreamGK:
 		return metrics.NewStreaming(metrics.DefaultSketchEpsilon)
+	default:
+		return &metrics.Sample{}
 	}
-	return &metrics.Sample{}
 }
 
 // ensure lazily initializes the recorders so the zero-value Collector

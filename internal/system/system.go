@@ -125,7 +125,7 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 	if err := tr.Tasks.Validate(); err != nil {
 		return nil, err
 	}
-	col := NewCollectorFor(tr.Metrics, expectedCompletions(tr.Tasks, tr.Horizon))
+	col := NewSeededCollectorFor(tr.Metrics, expectedCompletions(tr.Tasks, tr.Horizon), tr.Seed)
 	sys, err := build(tr, col)
 	if err != nil {
 		return nil, err
