@@ -29,9 +29,46 @@ import (
 	"time"
 
 	"ioguard/internal/benchsuite"
+	"ioguard/internal/experiments"
 	"ioguard/internal/footprint"
 	"ioguard/internal/results"
 )
+
+// robustnessRows runs the fault-injection robustness sweep at smoke
+// scale and flattens it into report rows: every system (the case-study
+// five plus BS|PART) under every fault scenario, scored with the
+// fault-conditioned miss/drop counters and the timing-accuracy
+// distribution. The sweep is a deterministic simulation — identical
+// rows on every host — so unlike the wall-clock benchmarks these
+// columns are comparable across trajectory runs byte for byte.
+func robustnessRows(seed int64) ([]results.RobustnessRow, error) {
+	pts, err := experiments.Robustness(experiments.RobustnessConfig{
+		VMs:          4,
+		Util:         0.8,
+		Trials:       3,
+		HyperPeriods: 2,
+		Seed:         seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]results.RobustnessRow, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, results.RobustnessRow{
+			Scenario:              p.Scenario,
+			System:                p.System,
+			Trials:                p.Agg.Trials,
+			SuccessRatio:          p.Agg.SuccessRatio(),
+			MissesPerTrial:        p.Agg.Misses.Mean(),
+			FaultedMissesPerTrial: p.Agg.FaultedMisses.Mean(),
+			DropsPerTrial:         p.Agg.FaultDropped.Mean(),
+			DupsPerTrial:          p.Agg.DupDelivered.Mean(),
+			AccuracyMeanSlots:     p.Agg.Accuracy.Mean(),
+			AccuracyP99Slots:      p.Agg.Accuracy.Quantile(0.99),
+		})
+	}
+	return rows, nil
+}
 
 func measure(spec benchsuite.Spec) results.Result {
 	r := testing.Benchmark(spec.Bench)
@@ -57,6 +94,8 @@ func main() {
 		match     = flag.String("bench", "", "only run benchmarks whose name contains this substring")
 		suite     = flag.String("suite", "default", "benchmark suite: default (per-PR smoke scale) or nightly (paper-scale 1000-trial case study)")
 		appendRep = flag.Bool("append", false, "append this run to the output file's trajectory (ioguard/bench_sim_trajectory/v2) instead of overwriting it")
+		robust    = flag.Bool("robust", true, "include the fault-injection robustness rows (deterministic smoke-scale sweep over every system and fault scenario)")
+		robustSd  = flag.Int64("robust-seed", 11, "base seed for the robustness sweep's workloads and fault realizations")
 	)
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -105,6 +144,14 @@ func main() {
 		sk.Suite = *suite
 		rep.SweepSketches = append(rep.SweepSketches, sk)
 	}
+	if *robust {
+		fmt.Fprintln(os.Stderr, "running robustness sweep...")
+		rep.Robustness, err = robustnessRows(*robustSd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ioguard-bench: robustness sweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	var data []byte
 	if *appendRep && *out != "-" {
@@ -135,6 +182,9 @@ func main() {
 	for _, sk := range rep.SweepSketches {
 		fmt.Printf("sweep sketch %s: %d trials, response p99 %.0f slots\n",
 			sk.Key(), sk.Trials, sk.Response.Percentile(99))
+	}
+	if n := len(rep.Robustness); n > 0 {
+		fmt.Printf("robustness: %d (scenario, system) rows\n", n)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Results))
 }

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig6|table1|fig7a|fig7b|fig7c|fig8|ablation|preload|response|all")
+		exp     = flag.String("exp", "all", "experiment: fig6|table1|fig7a|fig7b|fig7c|fig8|ablation|preload|response|robust|all (robust is opt-in, not part of all)")
 		trials  = flag.Int("trials", 5, "trials per case-study point (paper: 1000)")
 		hps     = flag.Int("hyperperiods", 3, "horizon in workload hyper-periods (paper: 100 s runs)")
 		maxEta  = flag.Int("maxeta", 4, "maximum scaling factor η for fig8")
@@ -73,6 +73,8 @@ func run(exp string, trials, hps, maxEta int, util float64, seed int64, dense, q
 		return preload(util, trials, seed, workers)
 	case "response":
 		return response(util, seed)
+	case "robust":
+		return robust(util, trials, hps, seed, dense, ec)
 	case "all":
 		if err := fig6(); err != nil {
 			return err
@@ -164,6 +166,28 @@ func response(util float64, seed int64) error {
 	}
 	fmt.Printf("Response-time distributions at U=%.2f, 8 VMs\n\n", util)
 	fmt.Print(experiments.RenderResponseProfile(profiles))
+	return nil
+}
+
+// robust runs the fault-scenario sweep across every buildable system
+// (including BS|PART). Deliberately not part of -exp all: the
+// committed experiments_output.txt pins the clean reproduction.
+func robust(util float64, trials, hps int, seed int64, dense bool, ec cliflags.Resolved) error {
+	points, err := experiments.Robustness(experiments.RobustnessConfig{
+		VMs:          4,
+		Util:         util,
+		Trials:       trials,
+		HyperPeriods: hps,
+		Seed:         seed,
+		Workers:      ec.Workers,
+		ShardWorkers: ec.ShardWorkers,
+		Metrics:      ec.Metrics,
+		Dense:        dense,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderRobustness(points, 4, util))
 	return nil
 }
 

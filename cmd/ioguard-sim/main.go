@@ -171,6 +171,7 @@ func run(out io.Writer, sysName, family string, vms int, util float64, hps int, 
 		ShardWorkers: ec.ShardWorkers,
 		DrainMin:     ec.DrainMin,
 		DrainMax:     ec.DrainMax,
+		Faults:       ec.Faults,
 	})
 	if err != nil {
 		return err
@@ -232,6 +233,7 @@ func runSweep(out io.Writer, sysName, family string, vms int, util float64, hps 
 		ShardWorkers: ec.ShardWorkers,
 		DrainMin:     ec.DrainMin,
 		DrainMax:     ec.DrainMax,
+		Faults:       ec.Faults,
 	}, trials, ec.Workers)
 	if err != nil {
 		return err

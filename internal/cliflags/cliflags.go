@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"runtime"
 
+	"ioguard/internal/faults"
+	"ioguard/internal/slot"
 	"ioguard/internal/system"
 )
 
@@ -39,6 +41,17 @@ type Exec struct {
 	// budget only sizes conservative fast-forward horizons.
 	DrainMin int
 	DrainMax int
+	// The -fault-* sextet configures the deterministic fault-injection
+	// layer (system.Trial.Faults). All zero — the defaults — is a clean
+	// run; any enabled plan keeps the byte-identity contract across
+	// -workers / -shard-workers / -dense because every fault decision
+	// is a pure per-job hash of (FaultSeed, trial seed).
+	FaultSeed     int64
+	FaultJitter   int
+	FaultDrop     float64
+	FaultDup      float64
+	FaultDelay    float64
+	FaultDelayMax int
 }
 
 // Resolved is a validated execution configuration.
@@ -48,6 +61,8 @@ type Resolved struct {
 	Metrics      system.MetricsMode
 	DrainMin     int
 	DrainMax     int
+	// Faults is the validated fault plan; the zero value runs clean.
+	Faults faults.Plan
 }
 
 // Register installs the shared flags on fs with the canonical names,
@@ -65,6 +80,18 @@ func Register(fs *flag.FlagSet) *Exec {
 		"lower bound on the sharded runner's adaptive release-drain budget (0 = built-in; output is identical for any value)")
 	fs.IntVar(&e.DrainMax, "drain-max", 0,
 		"upper bound on the sharded runner's adaptive release-drain budget (0 = built-in; output is identical for any value)")
+	fs.Int64Var(&e.FaultSeed, "fault-seed", 0,
+		"fault-injection stream seed; the same seed replays a faulted trial byte-identically")
+	fs.IntVar(&e.FaultJitter, "fault-jitter", 0,
+		"max extra release jitter in slots injected at the workload layer (0 = off)")
+	fs.Float64Var(&e.FaultDrop, "fault-drop", 0,
+		"probability a request is lost in transport before reaching the system")
+	fs.Float64Var(&e.FaultDup, "fault-dup", 0,
+		"probability a request is duplicated in transport")
+	fs.Float64Var(&e.FaultDelay, "fault-delay", 0,
+		"probability a request is delayed in transport (requires -fault-delay-max)")
+	fs.IntVar(&e.FaultDelayMax, "fault-delay-max", 0,
+		"max transport delay in slots for -fault-delay hits")
 	return e
 }
 
@@ -95,5 +122,16 @@ func (e *Exec) Resolve() (Resolved, error) {
 		return Resolved{}, err
 	}
 	r.Metrics = mode
+	r.Faults = faults.Plan{
+		Seed:          e.FaultSeed,
+		ReleaseJitter: slot.Time(e.FaultJitter),
+		DropProb:      e.FaultDrop,
+		DupProb:       e.FaultDup,
+		DelayProb:     e.FaultDelay,
+		DelayMax:      slot.Time(e.FaultDelayMax),
+	}
+	if err := r.Faults.Validate(); err != nil {
+		return Resolved{}, err
+	}
 	return r, nil
 }

@@ -75,6 +75,52 @@ func TestResolveRejectsBadValues(t *testing.T) {
 	}
 }
 
+// TestFaultFlagsResolve: the -fault-* sextet parses into a validated
+// faults.Plan on Resolved, and stays the zero (clean) plan by default.
+func TestFaultFlagsResolve(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	e := Register(fs)
+	if err := fs.Parse([]string{
+		"-fault-seed", "9", "-fault-jitter", "50",
+		"-fault-drop", "0.05", "-fault-dup", "0.02",
+		"-fault-delay", "0.1", "-fault-delay-max", "32",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Faults
+	if p.Seed != 9 || p.ReleaseJitter != 50 || p.DropProb != 0.05 ||
+		p.DupProb != 0.02 || p.DelayProb != 0.1 || p.DelayMax != 32 {
+		t.Errorf("resolved plan %+v", p)
+	}
+	if !p.Enabled() {
+		t.Error("configured plan reports disabled")
+	}
+	clean, err := (&Exec{Metrics: "exact"}).Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Faults.Enabled() {
+		t.Errorf("default plan enabled: %+v", clean.Faults)
+	}
+}
+
+// TestFaultFlagsRejectBadPlans routes plan validation through Resolve.
+func TestFaultFlagsRejectBadPlans(t *testing.T) {
+	if _, err := (&Exec{Metrics: "exact", FaultDrop: 1.5}).Resolve(); err == nil {
+		t.Error("drop probability > 1 accepted")
+	}
+	if _, err := (&Exec{Metrics: "exact", FaultJitter: -1}).Resolve(); err == nil {
+		t.Error("negative jitter accepted")
+	}
+	if _, err := (&Exec{Metrics: "exact", FaultDelay: 0.5}).Resolve(); err == nil {
+		t.Error("delay probability without -fault-delay-max accepted")
+	}
+}
+
 // TestWorkersFloorMatchesRunCells: workers ≤ 0 must resolve to the
 // same GOMAXPROCS fallback system.RunCells applies, so a resolved
 // configuration never disagrees with the pool it parameterizes.

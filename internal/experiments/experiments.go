@@ -30,12 +30,23 @@ import (
 	"ioguard/internal/workload"
 )
 
-// SystemNames lists the case-study systems in presentation order.
+// SystemNames lists the case-study systems in presentation order —
+// the column set of the committed Fig. 7 tables. BS|PART joins
+// Builders() (and the robustness sweep) but not this list, which
+// keeps every historical render byte-identical.
 func SystemNames() []string {
 	return []string{"BS|Legacy", "BS|RT-XEN", "BS|BV", "I/O-GUARD-40", "I/O-GUARD-70"}
 }
 
-// Builders returns the builder of every case-study system.
+// AllSystemNames lists every buildable system in presentation order —
+// the case-study five plus the BS|PART partitioning baseline. The
+// robustness sweep compares across this set.
+func AllSystemNames() []string {
+	return []string{"BS|Legacy", "BS|RT-XEN", "BS|BV", "BS|PART", "I/O-GUARD-40", "I/O-GUARD-70"}
+}
+
+// Builders returns the builder of every case-study system, plus the
+// BS|PART static-partitioning baseline of the robustness runs.
 func Builders() map[string]system.Builder {
 	return map[string]system.Builder{
 		"BS|Legacy": func(tr system.Trial, col *system.Collector) (system.System, error) {
@@ -46,6 +57,9 @@ func Builders() map[string]system.Builder {
 		},
 		"BS|BV": func(tr system.Trial, col *system.Collector) (system.System, error) {
 			return baseline.NewBlueVisor(tr.VMs, tr.Tasks, col)
+		},
+		"BS|PART": func(tr system.Trial, col *system.Collector) (system.System, error) {
+			return baseline.NewPartition(tr.VMs, tr.Tasks, col)
 		},
 		"I/O-GUARD-40": IOGuardBuilder(0.40),
 		"I/O-GUARD-70": IOGuardBuilder(0.70),

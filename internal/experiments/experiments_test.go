@@ -8,13 +8,25 @@ import (
 
 func TestSystemNamesAndBuildersAgree(t *testing.T) {
 	builders := Builders()
-	for _, n := range SystemNames() {
+	for _, n := range AllSystemNames() {
 		if _, ok := builders[n]; !ok {
 			t.Errorf("system %q has no builder", n)
 		}
 	}
-	if len(builders) != len(SystemNames()) {
-		t.Errorf("builders = %d, names = %d", len(builders), len(SystemNames()))
+	if len(builders) != len(AllSystemNames()) {
+		t.Errorf("builders = %d, names = %d", len(builders), len(AllSystemNames()))
+	}
+	// The Fig. 7 column set is a strict prefix relation: every
+	// case-study system is buildable, and AllSystemNames adds only
+	// BS|PART.
+	seen := map[string]bool{}
+	for _, n := range AllSystemNames() {
+		seen[n] = true
+	}
+	for _, n := range SystemNames() {
+		if !seen[n] {
+			t.Errorf("case-study system %q missing from AllSystemNames", n)
+		}
 	}
 }
 
@@ -220,7 +232,7 @@ func TestResponseProfile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(profiles) != len(SystemNames()) {
+	if len(profiles) != len(AllSystemNames()) {
 		t.Fatalf("profiles = %d systems", len(profiles))
 	}
 	for name, h := range profiles {

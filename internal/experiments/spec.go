@@ -38,6 +38,10 @@ func BuilderFor(name string) (system.Builder, error) {
 		return func(tr system.Trial, col *system.Collector) (system.System, error) {
 			return baseline.NewBlueVisor(tr.VMs, tr.Tasks, col)
 		}, nil
+	case name == "partition":
+		return func(tr system.Trial, col *system.Collector) (system.System, error) {
+			return baseline.NewPartition(tr.VMs, tr.Tasks, col)
+		}, nil
 	case strings.HasPrefix(name, "ioguard-"):
 		var pct int
 		if _, err := fmt.Sscanf(name, "ioguard-%d", &pct); err != nil || pct < 0 || pct > 100 {
@@ -58,7 +62,7 @@ func BuilderFor(name string) (system.Builder, error) {
 
 // SystemSpecs lists the spec spellings BuilderFor accepts, for help
 // strings and request validation errors.
-func SystemSpecs() string { return "legacy|rtxen|bluevisor|ioguard-<pct>" }
+func SystemSpecs() string { return "legacy|rtxen|bluevisor|partition|ioguard-<pct>" }
 
 // RenderTrial prints one trial's metrics block exactly as ioguard-sim
 // does — the byte-for-byte contract the server determinism test pins.
@@ -72,6 +76,17 @@ func RenderTrial(name string, res *metrics.TrialResult) string {
 	fmt.Fprintf(&b, "  success:          %v\n", res.Success())
 	fmt.Fprintf(&b, "  throughput:       %.3f MB/s\n", res.ThroughputMBps())
 	fmt.Fprintf(&b, "  response (slots): %s\n", res.Response.String())
+	// The lines below exist only on opted-in trials, so every
+	// historical render stays byte-identical.
+	if res.Accuracy != nil {
+		fmt.Fprintf(&b, "  accuracy (slots): %s\n", res.Accuracy.String())
+	}
+	if f := res.Faults; f != nil {
+		fmt.Fprintf(&b, "  faults injected:  jittered=%d dropped=%d duplicated=%d delayed=%d\n",
+			f.Jittered, f.Dropped, f.Duplicated, f.Delayed)
+		fmt.Fprintf(&b, "  fault effects:    dup-delivered=%d faulted-misses=%d\n",
+			f.DupDelivered, f.FaultedMisses)
+	}
 	return b.String()
 }
 
@@ -91,5 +106,15 @@ func RenderAggregate(name string, agg *metrics.Aggregate) string {
 	fmt.Fprintf(&b, "  critical misses:  mean=%.1f max=%.0f per trial\n", agg.Misses.Mean(), agg.Misses.Max())
 	fmt.Fprintf(&b, "  response (slots): %s\n", agg.Response.String())
 	fmt.Fprintf(&b, "  tardiness:        %s\n", agg.Tardiness.String())
+	// Fault lines appear only when trials carried a fault summary, so
+	// clean sweeps render exactly the historical block.
+	if agg.FaultTrials > 0 {
+		fmt.Fprintf(&b, "  faulted trials:   %d/%d\n", agg.FaultTrials, agg.Trials)
+		fmt.Fprintf(&b, "  faults injected:  jittered=%.1f dropped=%.1f duplicated=%.1f delayed=%.1f per trial\n",
+			agg.FaultJittered.Mean(), agg.FaultDropped.Mean(), agg.FaultDuplicated.Mean(), agg.FaultDelayed.Mean())
+		fmt.Fprintf(&b, "  fault effects:    dup-delivered=%.1f faulted-misses=%.1f per trial\n",
+			agg.DupDelivered.Mean(), agg.FaultedMisses.Mean())
+		fmt.Fprintf(&b, "  accuracy (slots): %s\n", agg.Accuracy.String())
+	}
 	return b.String()
 }

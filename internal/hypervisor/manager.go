@@ -79,7 +79,7 @@ type Stats struct {
 	Reclaimed   int64 // table slots reclaimed by the R-channel
 	Completed   int64 // jobs finished (both channels)
 	Preemptions int64 // job switches while the previous job was unfinished
-	Dropped     int64 // run-time jobs rejected at full pools
+	Dropped     int64 // jobs lost: rejected at full pools or discarded at task retirement
 	BytesServed int64 // payload bytes of completed jobs
 }
 
@@ -88,7 +88,7 @@ type Stats struct {
 type VMStats struct {
 	Admitted  int64 // jobs that entered the VM's I/O pool
 	Completed int64 // jobs finished through the R-channel
-	Dropped   int64 // jobs rejected at the full pool
+	Dropped   int64 // jobs lost: rejected at the full pool or discarded at task retirement
 	SlotsUsed int64 // device slots granted to this VM
 }
 

@@ -41,8 +41,10 @@ func (m *Manager) LoadPre(spec *task.Sporadic, id slot.TaskID, offset slot.Time)
 	return nil
 }
 
-// UnloadPre retires a pre-defined task: its pending jobs are dropped,
-// its registration removed, and its table slots freed for the
+// UnloadPre retires a pre-defined task: its pending jobs are dropped
+// (and counted — a discarded job is a lost I/O operation, visible in
+// Stats.Dropped and the owning VM's audit counters like any other
+// loss), its registration removed, and its table slots freed for the
 // R-channel.
 func (m *Manager) UnloadPre(id slot.TaskID) error {
 	pt, ok := m.pre[id]
@@ -50,8 +52,13 @@ func (m *Manager) UnloadPre(id slot.TaskID) error {
 		return fmt.Errorf("hypervisor: pre-defined task %d not loaded", id)
 	}
 	for {
-		if _, ok := pt.pending.Pop(); !ok {
+		j, ok := pt.pending.Pop()
+		if !ok {
 			break
+		}
+		m.stats.Dropped++
+		if vm := j.Task.VM; vm >= 0 && vm < len(m.vmStats) {
+			m.vmStats[vm].Dropped++
 		}
 	}
 	delete(m.pre, id)

@@ -107,6 +107,201 @@ func TestUnloadPreFreesEverything(t *testing.T) {
 	}
 }
 
+// TestUnloadPreCountsDroppedJobs is the drop-accounting regression
+// test: retiring a task with queued jobs is a loss event, so both the
+// manager-wide and the per-VM Dropped counters must cover every
+// discarded pending job. On the pre-fix code the drain loop threw the
+// jobs away silently and this test fails.
+func TestUnloadPreCountsDroppedJobs(t *testing.T) {
+	tab := slot.NewTable(16)
+	m, _ := New(Config{VMs: 1, Table: tab, Mode: DirectEDF})
+	spec := &task.Sporadic{ID: 1, Name: "doomed", VM: 0, Period: 16, WCET: 2, Deadline: 16}
+	if err := m.LoadPre(spec, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Step slot 0 to release the first job, then starve the P-channel
+	// by never stepping a slot the task owns: jobs accumulate in the
+	// pending queue and can never finish (WCET 2, at most one tick).
+	m.Step(0)
+	for now := slot.Time(1); now < 34; now++ {
+		if tab.Owner(now) == 0 {
+			continue
+		}
+		m.Step(now)
+	}
+	pending := 0
+	m.PendingJobs(func(*task.Job) { pending++ })
+	if pending != 2 {
+		t.Fatalf("setup: %d pending jobs, want 2 (releases at 0 and 16)", pending)
+	}
+	if got := m.Stats(); got.Dropped != 0 || got.Completed != 0 {
+		t.Fatalf("setup: dropped=%d completed=%d before unload", got.Dropped, got.Completed)
+	}
+	if err := m.UnloadPre(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Dropped; got != int64(pending) {
+		t.Errorf("Stats().Dropped = %d after unload, want %d (every discarded pending job)", got, pending)
+	}
+	vs, err := m.VMStats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.Dropped != int64(pending) {
+		t.Errorf("VMStats(0).Dropped = %d after unload, want %d", vs.Dropped, pending)
+	}
+	left := 0
+	m.PendingJobs(func(*task.Job) { left++ })
+	if left != 0 {
+		t.Errorf("%d pending jobs survived the unload", left)
+	}
+}
+
+// TestReloadRecyclesTaskIDCleanly pins the classification of
+// completions across a load-unload-reload cycle that immediately
+// recycles the TaskID: completions stay attributed to the *Sporadic
+// that released them (jobs hold the spec pointer, not the table id),
+// the retired task's discarded job is counted as dropped and never
+// surfaces as a completion, and the reloaded task neither back-fills
+// releases nor inherits its predecessor's backlog.
+func TestReloadRecyclesTaskIDCleanly(t *testing.T) {
+	tab := slot.NewTable(16)
+	m, _ := New(Config{VMs: 1, Table: tab, Mode: DirectEDF})
+	var log completionLog
+	m.OnComplete = log.hook()
+	alpha := &task.Sporadic{ID: 1, Name: "alpha", VM: 0, Period: 8, WCET: 2, Deadline: 8}
+	if err := m.LoadPre(alpha, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for now := slot.Time(0); now < 16; now++ {
+		m.Step(now)
+	}
+	alphaDone := len(log.jobs)
+	if alphaDone != 2 {
+		t.Fatalf("alpha completed %d jobs in one hyper-period, want 2", alphaDone)
+	}
+	// Slot 16 releases alpha's third job (WCET 2: one tick at most, so
+	// it is still pending) — unload with that job in flight.
+	m.Step(16)
+	if err := m.UnloadPre(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CheckInvariants(); err != nil {
+		t.Fatalf("table after unload: %v", err)
+	}
+	if got := m.Stats().Dropped; got != 1 {
+		t.Fatalf("Stats().Dropped = %d, want 1 (alpha's in-flight job)", got)
+	}
+	// Recycle TaskID 0 immediately for a different spec.
+	beta := &task.Sporadic{ID: 2, Name: "beta", VM: 0, Period: 16, WCET: 4, Deadline: 16}
+	if err := m.LoadPre(beta, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CheckInvariants(); err != nil {
+		t.Fatalf("table after reload: %v", err)
+	}
+	for now := slot.Time(17); now < 64; now++ {
+		m.Step(now)
+	}
+	var alphaAfter, betaDone int
+	for i, j := range log.jobs {
+		switch j.Task {
+		case alpha:
+			if i >= alphaDone {
+				alphaAfter++
+			}
+		case beta:
+			betaDone++
+			if j.Release < 17 {
+				t.Errorf("beta release %d back-filled from before its load", j.Release)
+			}
+		default:
+			t.Errorf("completion %d attributed to unknown spec %q", i, j.Task.Name)
+		}
+	}
+	if alphaAfter != 0 {
+		t.Errorf("%d completions attributed to the retired alpha after its unload", alphaAfter)
+	}
+	if betaDone == 0 {
+		t.Error("recycled TaskID never completed a beta job")
+	}
+	if got := m.Stats(); got.Completed != int64(len(log.jobs)) {
+		t.Errorf("Stats().Completed = %d, log has %d", got.Completed, len(log.jobs))
+	}
+	if log.misses() != 0 {
+		t.Errorf("%d deadline misses across the reload cycle", log.misses())
+	}
+}
+
+// TestModeChangeUnderLoad drives a GearV/T-Visor-style criticality
+// switch on a live manager: R-channel traffic flows throughout while a
+// second pre-defined task is hot-loaded, retired, and hot-loaded again
+// with a different spec under the same TaskID. The table must pass the
+// structural audit after every mode change, no run-time job may be
+// lost, and the table must return to the base allocation at the end.
+func TestModeChangeUnderLoad(t *testing.T) {
+	tab := slot.NewTable(32)
+	m, _ := New(Config{VMs: 2, Table: tab, Mode: DirectEDF})
+	var log completionLog
+	m.OnComplete = log.hook()
+	base := &task.Sporadic{ID: 1, Name: "base", VM: 0, Period: 16, WCET: 2, Deadline: 16}
+	if err := m.LoadPre(base, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	baseFree := tab.FreeCount()
+	rt := &task.Sporadic{ID: 10, Name: "rt", VM: 1, Period: 100, WCET: 1, Deadline: 100}
+	hiA := &task.Sporadic{ID: 2, Name: "hi-a", VM: 0, Period: 16, WCET: 4, Deadline: 16}
+	hiB := &task.Sporadic{ID: 3, Name: "hi-b", VM: 1, Period: 32, WCET: 6, Deadline: 32}
+	submitted := 0
+	for now := slot.Time(0); now < 200; now++ {
+		switch now {
+		case 40:
+			if err := m.LoadPre(hiA, 1, 0); err != nil {
+				t.Fatalf("slot %d: %v", now, err)
+			}
+		case 96:
+			if err := m.UnloadPre(1); err != nil {
+				t.Fatalf("slot %d: %v", now, err)
+			}
+		case 120:
+			if err := m.LoadPre(hiB, 1, 0); err != nil {
+				t.Fatalf("slot %d: %v", now, err)
+			}
+		}
+		if now == 40 || now == 96 || now == 120 {
+			if err := tab.CheckInvariants(); err != nil {
+				t.Fatalf("table after mode change at slot %d: %v", now, err)
+			}
+		}
+		if now%8 == 3 && now < 160 {
+			m.Submit(now, task.NewJob(rt, submitted, now))
+			submitted++
+		}
+		m.Step(now)
+	}
+	if err := m.UnloadPre(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CheckInvariants(); err != nil {
+		t.Fatalf("table after final unload: %v", err)
+	}
+	if tab.FreeCount() != baseFree {
+		t.Errorf("free slots %d after retiring the hot tasks, want %d", tab.FreeCount(), baseFree)
+	}
+	rtDone := 0
+	for _, j := range log.jobs {
+		if j.Task == rt {
+			rtDone++
+		}
+	}
+	if rtDone != submitted {
+		t.Errorf("R-channel completed %d of %d submitted jobs across the mode changes", rtDone, submitted)
+	}
+	if log.misses() != 0 {
+		t.Errorf("%d deadline misses under mode changes", log.misses())
+	}
+}
+
 func TestModeChangeCycle(t *testing.T) {
 	// Load/unload repeatedly; table must return to fully free.
 	tab := slot.NewTable(32)

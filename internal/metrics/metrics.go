@@ -128,6 +128,32 @@ func (s *Sample) String() string {
 		s.N(), s.Mean(), s.StdDev(), s.Min(), s.Percentile(99), s.Max())
 }
 
+// FaultSummary accounts one faulted trial: what the fault-injection
+// layer put in (jitter, drops, duplicates, delays — order-independent
+// sums over the per-job decision hashes) and what the collector saw
+// come out (delivered duplicates, deadline misses of perturbed jobs).
+// Nil on TrialResult means the trial ran clean.
+type FaultSummary struct {
+	// Jittered counts jobs whose release the fault layer pushed later.
+	Jittered int64
+	// Dropped counts requests lost in transport. They never reach the
+	// system, so they appear in neither Completed nor the system's own
+	// Dropped counter; this field is the only record of them.
+	Dropped int64
+	// Duplicated counts injected duplicate requests.
+	Duplicated int64
+	// Delayed counts requests given extra transport delay.
+	Delayed int64
+	// DupDelivered counts duplicate completions the collector observed
+	// (phantom actuations: excluded from every distribution, their cost
+	// is the device bandwidth they consumed).
+	DupDelivered int64
+	// FaultedMisses counts deadline misses (critical + synthetic,
+	// completed or censored-pending) of fault-perturbed jobs — the
+	// fault-conditioned slice of the miss counters.
+	FaultedMisses int64
+}
+
 // TrialResult is the outcome of one execution of one system under one
 // configuration (one of the paper's 1000 trials).
 type TrialResult struct {
@@ -148,6 +174,14 @@ type TrialResult struct {
 	// every deadline held; its tail quantifies how badly a system
 	// degrades).
 	Tardiness Recorder
+	// Accuracy is the ROTA-I/O-style timing-accuracy distribution:
+	// max(observed response − WCET, 0) per completed job, the error
+	// between the observed actuation and the earliest one an unloaded
+	// device could have produced. Nil unless the trial opted in
+	// (Trial.Accuracy, or any enabled fault plan).
+	Accuracy Recorder
+	// Faults summarizes the trial's fault injection; nil for clean runs.
+	Faults *FaultSummary
 }
 
 // Success reports whether the trial succeeded in the paper's sense:
@@ -181,6 +215,20 @@ type Aggregate struct {
 	// byte-identical-for-any-workers contract extends to quantiles.
 	Response  DistFold
 	Tardiness DistFold
+	// Accuracy folds the per-trial timing-accuracy distributions; it
+	// stays empty unless trials tracked one.
+	Accuracy DistFold
+
+	// FaultTrials counts trials that carried a fault summary; the
+	// samples below hold one observation per such trial. All stay empty
+	// for clean sweeps.
+	FaultTrials     int
+	FaultJittered   Sample // jittered releases per trial
+	FaultDropped    Sample // transport drops per trial
+	FaultDuplicated Sample // injected duplicates per trial
+	FaultDelayed    Sample // delayed requests per trial
+	DupDelivered    Sample // delivered duplicates per trial
+	FaultedMisses   Sample // misses of perturbed jobs per trial
 }
 
 // AddTrial folds one trial into the aggregate.
@@ -193,6 +241,16 @@ func (a *Aggregate) AddTrial(t *TrialResult) {
 	a.Misses.Add(float64(t.CriticalMisses))
 	a.Response.AddRecorder(t.Response)
 	a.Tardiness.AddRecorder(t.Tardiness)
+	a.Accuracy.AddRecorder(t.Accuracy)
+	if t.Faults != nil {
+		a.FaultTrials++
+		a.FaultJittered.Add(float64(t.Faults.Jittered))
+		a.FaultDropped.Add(float64(t.Faults.Dropped))
+		a.FaultDuplicated.Add(float64(t.Faults.Duplicated))
+		a.FaultDelayed.Add(float64(t.Faults.Delayed))
+		a.DupDelivered.Add(float64(t.Faults.DupDelivered))
+		a.FaultedMisses.Add(float64(t.Faults.FaultedMisses))
+	}
 }
 
 // SuccessRatio returns the fraction of successful trials in [0,1].

@@ -83,6 +83,26 @@ type SweepSketch struct {
 	Tardiness *metrics.Streaming `json:"tardiness,omitempty"`
 }
 
+// RobustnessRow is one (scenario, system) cell of the fault-injection
+// robustness sweep: the fault-conditioned miss/drop classification and
+// the ROTA-I/O-style timing-accuracy scalars for one system under one
+// named fault scenario. Rows are additive to the v2 schema — older
+// payloads simply lack them.
+type RobustnessRow struct {
+	Scenario     string  `json:"scenario"` // fault menu entry, e.g. "storm"
+	System       string  `json:"system"`   // e.g. "BS|PART"
+	Trials       int     `json:"trials"`
+	SuccessRatio float64 `json:"success_ratio"`
+	// Per-trial means of the fault-conditioned counters.
+	MissesPerTrial        float64 `json:"misses_per_trial"`
+	FaultedMissesPerTrial float64 `json:"faulted_misses_per_trial"`
+	DropsPerTrial         float64 `json:"drops_per_trial"`
+	DupsPerTrial          float64 `json:"dups_per_trial"`
+	// Release-to-actuation error distribution, in slots.
+	AccuracyMeanSlots float64 `json:"accuracy_mean_slots"`
+	AccuracyP99Slots  float64 `json:"accuracy_p99_slots"`
+}
+
 // Report is one benchmark run — the ioguard/bench_sim/v2 schema, and
 // one element of a trajectory's runs array.
 type Report struct {
@@ -103,6 +123,9 @@ type Report struct {
 	// SweepSketches are the nightly sweeps' merged latency
 	// distributions (v2; absent from v1 runs).
 	SweepSketches []SweepSketch `json:"sweep_sketches,omitempty"`
+	// Robustness holds the fault-injection sweep's per-(scenario,
+	// system) rows (additive; absent from pre-fault runs).
+	Robustness []RobustnessRow `json:"robustness,omitempty"`
 }
 
 // Trajectory accumulates one Report per invocation: the
@@ -151,6 +174,22 @@ func (r *Report) Validate() error {
 		if sk.Response != nil && sk.Trials == 0 && sk.Response.N() > 0 {
 			return fmt.Errorf("results: sweep sketch %q/%q has observations but zero trials",
 				sk.Sweep, sk.System)
+		}
+	}
+	for i, rr := range r.Robustness {
+		if rr.Scenario == "" || rr.System == "" {
+			return fmt.Errorf("results: robustness row %d missing scenario/system key", i)
+		}
+		if rr.Trials < 0 {
+			return fmt.Errorf("results: robustness row %s/%s has negative trials", rr.Scenario, rr.System)
+		}
+		if rr.SuccessRatio < 0 || rr.SuccessRatio > 1 {
+			return fmt.Errorf("results: robustness row %s/%s success ratio %g outside [0,1]",
+				rr.Scenario, rr.System, rr.SuccessRatio)
+		}
+		if rr.MissesPerTrial < 0 || rr.FaultedMissesPerTrial < 0 || rr.DropsPerTrial < 0 ||
+			rr.DupsPerTrial < 0 || rr.AccuracyMeanSlots < 0 || rr.AccuracyP99Slots < 0 {
+			return fmt.Errorf("results: robustness row %s/%s has negative measurement", rr.Scenario, rr.System)
 		}
 	}
 	return nil

@@ -132,6 +132,9 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		{"negative trials", `{"schema":"ioguard/bench_sim/v2","sweep_sketches":[{"sweep":"s","system":"x","trials":-1}]}`, "negative trials"},
 		{"corrupt embedded sketch", `{"schema":"ioguard/bench_sim/v2","sweep_sketches":[{"sweep":"s","system":"x","trials":1,"response":{"n":2,"mean":1,"m2":0,"min":1,"max":1,"sketch":{"eps":0.01,"k":300,"n":3,"rng":1,"levels":[[1,1,1]]}}}]}`, "disagrees"},
 		{"run inside trajectory", `{"schema":"ioguard/bench_sim_trajectory/v2","runs":[{"schema":"bogus"}]}`, "unknown schema"},
+		{"robustness missing key", `{"schema":"ioguard/bench_sim/v2","robustness":[{"scenario":"storm","system":""}]}`, "missing scenario/system"},
+		{"robustness bad success", `{"schema":"ioguard/bench_sim/v2","robustness":[{"scenario":"storm","system":"BS|PART","success_ratio":-0.2}]}`, "outside [0,1]"},
+		{"robustness negative", `{"schema":"ioguard/bench_sim/v2","robustness":[{"scenario":"storm","system":"BS|PART","drops_per_trial":-1}]}`, "negative measurement"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -217,6 +220,11 @@ func TestRenderShape(t *testing.T) {
 // decode with its quantiles intact.
 func TestReportJSONRoundTrip(t *testing.T) {
 	rep := run(t, "1", 100, 5)
+	rep.Robustness = []RobustnessRow{{
+		Scenario: "storm", System: "BS|PART", Trials: 3,
+		SuccessRatio: 0.5, MissesPerTrial: 12, FaultedMissesPerTrial: 4,
+		DropsPerTrial: 2, DupsPerTrial: 1, AccuracyMeanSlots: 7.5, AccuracyP99Slots: 40,
+	}}
 	wantP99 := rep.SweepSketches[0].Response.Percentile(99)
 	data, err := json.Marshal(rep)
 	if err != nil {
@@ -229,5 +237,9 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	got := traj.Runs[0].SweepSketches[0].Response.Percentile(99)
 	if got != wantP99 {
 		t.Fatalf("round-tripped p99 %g, want %g", got, wantP99)
+	}
+	rr := traj.Runs[0].Robustness
+	if len(rr) != 1 || rr[0] != rep.Robustness[0] {
+		t.Fatalf("round-tripped robustness rows %+v, want %+v", rr, rep.Robustness)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"ioguard/internal/experiments"
+	"ioguard/internal/faults"
 	"ioguard/internal/metrics"
 	"ioguard/internal/slot"
 	"ioguard/internal/system"
@@ -57,6 +58,15 @@ type TrialRequest struct {
 	// bounds. Output is identical for any valid pair.
 	DrainMin int `json:"drain_min,omitempty"`
 	DrainMax int `json:"drain_max,omitempty"`
+	// The fault_* sextet mirrors the -fault-* CLI flags: a validated
+	// faults.Plan injected into every trial of the request. All zero
+	// (the default) runs clean. A bad plan is a client error (400).
+	FaultSeed     int64   `json:"fault_seed,omitempty"`
+	FaultJitter   int     `json:"fault_jitter,omitempty"`
+	FaultDrop     float64 `json:"fault_drop,omitempty"`
+	FaultDup      float64 `json:"fault_dup,omitempty"`
+	FaultDelay    float64 `json:"fault_delay,omitempty"`
+	FaultDelayMax int     `json:"fault_delay_max,omitempty"`
 }
 
 // normalized is a validated request: the resolved builder, generated
@@ -104,6 +114,17 @@ func normalize(req TrialRequest) (*normalized, error) {
 	if req.DrainMin > 0 && req.DrainMax > 0 && req.DrainMin > req.DrainMax {
 		return nil, fmt.Errorf("drain_min %d exceeds drain_max %d", req.DrainMin, req.DrainMax)
 	}
+	plan := faults.Plan{
+		Seed:          req.FaultSeed,
+		ReleaseJitter: slot.Time(req.FaultJitter),
+		DropProb:      req.FaultDrop,
+		DupProb:       req.FaultDup,
+		DelayProb:     req.FaultDelay,
+		DelayMax:      slot.Time(req.FaultDelayMax),
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
 	build, err := experiments.BuilderFor(req.System)
 	if err != nil {
 		return nil, err
@@ -129,6 +150,7 @@ func normalize(req TrialRequest) (*normalized, error) {
 			ShardWorkers: req.ShardWorkers,
 			DrainMin:     req.DrainMin,
 			DrainMax:     req.DrainMax,
+			Faults:       plan,
 		},
 		trials: req.Trials,
 	}, nil

@@ -142,11 +142,62 @@ func TestBadRequestsRejected(t *testing.T) {
 		{"trials": -4},
 		{"metrics": "fuzzy"},
 		{"shard_workers": -1},
+		{"fault_drop": 2.0},
+		{"fault_delay": 0.5}, // delay probability without fault_delay_max
+		{"fault_jitter": -3},
 	} {
 		resp := postJSON(t, hts.URL+"/v1/trials", body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("request %v: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestFaultedTrialsRoundTrip: a request carrying a fault plan streams
+// fault-annotated renders, reproduces byte-identically on rerun, and
+// matches direct execution of the normalized cells — the server-side
+// face of the -fault-seed replay contract.
+func TestFaultedTrialsRoundTrip(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	req := lightRequest(3)
+	req["fault_seed"] = 7
+	req["fault_jitter"] = 40
+	req["fault_drop"] = 0.05
+	lines := readLines(t, postJSON(t, hts.URL+"/v1/trials", req))
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for i, l := range lines {
+		if !bytes.Contains([]byte(l.Rendered), []byte("faults injected:")) {
+			t.Fatalf("line %d render missing fault block:\n%s", i, l.Rendered)
+		}
+	}
+	again := readLines(t, postJSON(t, hts.URL+"/v1/trials", req))
+	for i := range lines {
+		if lines[i].Rendered != again[i].Rendered {
+			t.Fatalf("faulted rerun diverged at line %d", i)
+		}
+	}
+	norm, err := normalize(TrialRequest{System: "bluevisor", VMs: 2, Util: 0.5, Hyperperiods: 1,
+		Seed: 3, Trials: 3, FaultSeed: 7, FaultJitter: 40, FaultDrop: 0.05})
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	results, err := system.RunCells(norm.cells(), 1)
+	if err != nil {
+		t.Fatalf("runcells: %v", err)
+	}
+	for i, res := range results {
+		if res.Faults == nil {
+			t.Fatalf("trial %d: no fault summary on direct execution", i)
+		}
+		if lines[i].Completed != res.Completed || lines[i].CriticalMisses != res.CriticalMisses {
+			t.Fatalf("trial %d diverges from direct execution", i)
 		}
 	}
 }

@@ -1,0 +1,62 @@
+package slot
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckInvariantsHealthy: tables produced by the public mutators
+// always pass the audit, including after a mode-change cycle and with
+// the lazy free-prefix index built.
+func TestCheckInvariantsHealthy(t *testing.T) {
+	for _, tab := range []*Table{NewTable(0), NewTable(1), NewTable(64)} {
+		if err := tab.CheckInvariants(); err != nil {
+			t.Errorf("fresh table len=%d: %v", tab.Len(), err)
+		}
+	}
+	tab := NewTable(32)
+	if _, err := tab.AllocatePeriodic(Requirement{ID: 0, Period: 16, WCET: 3, Deadline: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CheckInvariants(); err != nil {
+		t.Errorf("after allocate: %v", err)
+	}
+	tab.FreeIn(0, 32) // force the free-prefix index
+	if err := tab.CheckInvariants(); err != nil {
+		t.Errorf("with index: %v", err)
+	}
+	tab.Release(0)
+	if err := tab.CheckInvariants(); err != nil {
+		t.Errorf("after release: %v", err)
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption fabricates broken run lists
+// (white-box: same package) and asserts each violation is named.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		tab  *Table
+		want string
+	}{
+		{"no runs", &Table{h: 8}, "has no runs"},
+		{"empty with runs", &Table{h: 0, runs: []run{{0, Free}}}, "empty table holds"},
+		{"empty with free", &Table{h: 0, free: 3}, "empty table reports"},
+		{"bad first start", &Table{h: 8, runs: []run{{2, Free}}, free: 6}, "first run starts"},
+		{"non-increasing", &Table{h: 8, runs: []run{{0, Free}, {4, 1}, {4, Free}}, free: 8}, "spans"},
+		{"not maximal", &Table{h: 8, runs: []run{{0, 1}, {4, 1}}}, "not maximal"},
+		{"free mismatch", &Table{h: 8, runs: []run{{0, Free}}, free: 5}, "cached free count"},
+		{"index size", &Table{h: 8, runs: []run{{0, Free}}, free: 8, freePrefix: []Time{0}}, "free-prefix index"},
+		{"index total", &Table{h: 8, runs: []run{{0, Free}}, free: 8, freePrefix: []Time{0, 5}}, "free-prefix total"},
+	}
+	for _, tc := range cases {
+		err := tc.tab.CheckInvariants()
+		if err == nil {
+			t.Errorf("%s: corruption not detected", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -27,6 +27,9 @@ func newPair(h int) *tablePair {
 // count matches the free runs.
 func (p *tablePair) invariants(t testing.TB) {
 	t.Helper()
+	if err := p.iv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 	h := Time(p.iv.Len())
 	var pos, free Time
 	prev := TaskID(-2) // impossible owner: no merge check on the first run

@@ -204,6 +204,56 @@ func (t *Table) FreeCount() int { return t.free }
 // table's memory and mutation costs scale with R, not H.
 func (t *Table) RunCount() int { return len(t.runs) }
 
+// CheckInvariants audits the table's structural invariants: runs tile
+// [0, H) starting at 0 with strictly increasing starts, adjacent runs
+// have distinct owners (maximality), the cached free count matches the
+// free runs, and any built free-prefix index agrees with them. A
+// healthy table always returns nil; harnesses that mutate the table at
+// run time (LoadPre/UnloadPre mode changes) call this between
+// operations to catch corruption at the operation that caused it.
+func (t *Table) CheckInvariants() error {
+	if t.h == 0 {
+		if len(t.runs) != 0 {
+			return fmt.Errorf("slot: empty table holds %d runs", len(t.runs))
+		}
+		if t.free != 0 {
+			return fmt.Errorf("slot: empty table reports %d free slots", t.free)
+		}
+		return nil
+	}
+	if len(t.runs) == 0 {
+		return fmt.Errorf("slot: table of length %d has no runs", t.h)
+	}
+	if t.runs[0].start != 0 {
+		return fmt.Errorf("slot: first run starts at %d, want 0", t.runs[0].start)
+	}
+	var free Time
+	for i, rn := range t.runs {
+		end := t.runEnd(i)
+		if end <= rn.start || rn.start < 0 || end > t.h {
+			return fmt.Errorf("slot: run %d spans [%d, %d) outside [0, %d)", i, rn.start, end, t.h)
+		}
+		if i > 0 && rn.owner == t.runs[i-1].owner {
+			return fmt.Errorf("slot: runs %d and %d share owner %d (not maximal)", i-1, i, rn.owner)
+		}
+		if rn.owner == Free {
+			free += end - rn.start
+		}
+	}
+	if int(free) != t.free {
+		return fmt.Errorf("slot: cached free count %d, free runs sum %d", t.free, free)
+	}
+	if t.freePrefix != nil {
+		if len(t.freePrefix) != len(t.runs)+1 {
+			return fmt.Errorf("slot: free-prefix index has %d entries for %d runs", len(t.freePrefix), len(t.runs))
+		}
+		if t.freePrefix[len(t.runs)] != free {
+			return fmt.Errorf("slot: free-prefix total %d, free runs sum %d", t.freePrefix[len(t.runs)], free)
+		}
+	}
+	return nil
+}
+
 // Utilization returns the fraction of σ* consumed by pre-defined
 // tasks, i.e. (H-F)/H. It is 0 for an empty table.
 func (t *Table) Utilization() float64 {

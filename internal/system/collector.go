@@ -28,6 +28,7 @@ package system
 import (
 	"fmt"
 
+	"ioguard/internal/faults"
 	"ioguard/internal/metrics"
 	"ioguard/internal/slot"
 	"ioguard/internal/task"
@@ -99,6 +100,17 @@ type Collector struct {
 	otherMisses    int64
 	response       metrics.Recorder
 	tardiness      metrics.Recorder
+
+	// accuracy, when tracked, records the timing-accuracy error
+	// max(response − WCET, 0) per completion (nil otherwise — clean
+	// runs must not shift the streaming mode's recorder seeds).
+	accuracy metrics.Recorder
+	// fs is the trial's fault stream; completions of injected
+	// duplicates are classified against it, and misses are split into
+	// fault-conditioned vs clean by re-deriving each job's perturbation.
+	fs           *faults.Stream
+	dupDelivered int64
+	faultedMiss  int64
 
 	// perTask accumulates per-task statistics online when enabled via
 	// TrackByTask (the streaming replacement for the ByTask replay).
@@ -208,6 +220,24 @@ func teeInto(r metrics.Recorder, o metrics.Observer) metrics.Recorder {
 	return metrics.NewTee(r, o)
 }
 
+// TrackAccuracy opts the collector into the ROTA-I/O timing-accuracy
+// recorder. It must run before the first completion (Run calls it
+// right after construction) so the recorder's sketch ordinal — and
+// hence the per-task recorders' — is fixed for the whole trial.
+// Untracked trials never allocate it, which keeps every pre-existing
+// golden output byte-identical.
+func (c *Collector) TrackAccuracy() {
+	c.ensure()
+	if c.accuracy == nil {
+		c.accuracy = c.newRecorder()
+	}
+}
+
+// SetFaultStream attaches the trial's fault realization so completions
+// can be classified against it (duplicate detection, fault-conditioned
+// misses). Run threads the stream here for faulted trials.
+func (c *Collector) SetFaultStream(fs *faults.Stream) { c.fs = fs }
+
 // TrackByTask switches ByTask to online accumulation: per-task stats
 // are updated on every completion, which is the only way to get them
 // in streaming mode (there is no buffer to replay).
@@ -230,6 +260,15 @@ func critical(t *task.Sporadic) bool {
 // tracked per-task stats, and any registered observers.
 func (c *Collector) Complete(j *task.Job, at slot.Time) {
 	c.ensure()
+	if c.fs != nil && faults.IsDup(j) {
+		// An injected duplicate completing is a phantom actuation: count
+		// it, but keep it out of the completion log, the distributions
+		// and the miss classification — its observable cost is the
+		// device bandwidth it consumed, which the real jobs' response
+		// times already reflect.
+		c.dupDelivered++
+		return
+	}
 	if c.mode == MetricsExact {
 		c.done = append(c.done, completion{job: j, at: at})
 	}
@@ -241,12 +280,22 @@ func (c *Collector) Complete(j *task.Job, at slot.Time) {
 		tard = 0
 	}
 	c.tardiness.Add(float64(tard))
+	if c.accuracy != nil {
+		acc := float64(at-j.Release) - float64(j.Task.WCET)
+		if acc < 0 {
+			acc = 0
+		}
+		c.accuracy.Add(acc)
+	}
 	missed := at > j.Deadline
 	if missed {
 		if critical(j.Task) {
 			c.criticalMisses++
 		} else {
 			c.otherMisses++
+		}
+		if c.fs != nil && c.fs.Perturbed(j) {
+			c.faultedMiss++
 		}
 	}
 	if c.trackByTask {
@@ -291,8 +340,15 @@ func (c *Collector) Result(sys System, horizon slot.Time) *metrics.TrialResult {
 		OtherMisses:    c.otherMisses,
 		Response:       c.response,
 		Tardiness:      c.tardiness,
+		Accuracy:       c.accuracy,
 	}
+	faultedMiss := c.faultedMiss
 	sys.Pending(func(j *task.Job) {
+		if c.fs != nil && faults.IsDup(j) {
+			// Pending duplicates are not censored work — the original
+			// job carries the deadline obligation.
+			return
+		}
 		res.Unfinished++
 		if j.Deadline < horizon {
 			if critical(j.Task) {
@@ -300,7 +356,21 @@ func (c *Collector) Result(sys System, horizon slot.Time) *metrics.TrialResult {
 			} else {
 				res.OtherMisses++
 			}
+			if c.fs != nil && c.fs.Perturbed(j) {
+				faultedMiss++
+			}
 		}
 	})
+	if c.fs != nil {
+		s := c.fs.Summary()
+		res.Faults = &metrics.FaultSummary{
+			Jittered:      s.Jittered,
+			Dropped:       s.Dropped,
+			Duplicated:    s.Duplicated,
+			Delayed:       s.Delayed,
+			DupDelivered:  c.dupDelivered,
+			FaultedMisses: faultedMiss,
+		}
+	}
 	return res
 }

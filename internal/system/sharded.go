@@ -8,6 +8,7 @@
 package system
 
 import (
+	"ioguard/internal/faults"
 	"ioguard/internal/queue"
 	"ioguard/internal/sim"
 	"ioguard/internal/slot"
@@ -133,34 +134,109 @@ func (p *drainPolicy) settle(used int) {
 	}
 }
 
+// relBuf buffers one shard's pending submissions in due order. A clean
+// trial's dues are the release slots themselves, which arrive monotone
+// (the fleet drains in global release order), so a plain FIFO holds
+// them; fault-injected transport delay makes dues non-monotone, so
+// faulted trials pay for a priority queue instead. The PQ breaks equal
+// keys in insertion order, so whenever dues happen to be monotone the
+// two representations drain identically.
+type relBuf struct {
+	fifo *queue.FIFO[*task.Job]
+	pq   *queue.PQ[*task.Job]
+}
+
+func newRelBuf(faulted bool) *relBuf {
+	if faulted {
+		return &relBuf{pq: queue.NewPQ[*task.Job](0)}
+	}
+	return &relBuf{fifo: queue.NewFIFO[*task.Job](0)}
+}
+
+// push enqueues j for delivery at due. The FIFO form requires (and the
+// clean runner guarantees) due == j.Release in arrival order.
+func (b *relBuf) push(due slot.Time, j *task.Job) {
+	if b.pq != nil {
+		b.pq.Push(due, j)
+		return
+	}
+	b.fifo.Push(j)
+}
+
+// peek returns the earliest-due buffered job.
+func (b *relBuf) peek() (slot.Time, *task.Job, bool) {
+	if b.pq != nil {
+		_, due, j, ok := b.pq.Min()
+		return due, j, ok
+	}
+	j, ok := b.fifo.Peek()
+	if !ok {
+		return 0, nil, false
+	}
+	return j.Release, j, true
+}
+
+// pop removes the earliest-due buffered job.
+func (b *relBuf) pop() {
+	if b.pq != nil {
+		b.pq.PopMin()
+		return
+	}
+	b.fifo.Pop()
+}
+
+// faultedEmit wraps a per-shard routing function with the transport
+// fault layer: drops vanish before routing, duplicates follow their
+// original, and delay shifts the delivery due past the release slot.
+// It is only ever called from the runner's single-threaded fleet-drain
+// contexts, matching the fault stream's counter discipline.
+func faultedEmit(fs *faults.Stream, put func(due slot.Time, j *task.Job)) func(j *task.Job) {
+	return func(j *task.Job) {
+		a := fs.Transport(j)
+		if a.Drop {
+			return
+		}
+		due := j.Release + a.Delay
+		put(due, j)
+		if a.Dup {
+			put(due, fs.DupJob(j))
+		}
+	}
+}
+
 // runSharded drives one trial on decoupled per-shard clocks. The
 // fleet is drained in global release order (keeping the jitter RNG
-// sequence identical to a dense run) into per-shard FIFO buffers;
-// each buffered job is submitted when its shard's clock reaches the
-// release slot. Because sim.ShardSet executes (slot, shard) pairs in
-// lexicographic order and shards are registered in the same order the
-// monolithic Step iterates them, completions reach the collector in
-// exactly the dense order — byte-identical results, enforced by the
+// sequence identical to a dense run) into per-shard due-ordered
+// buffers; each buffered job is submitted when its shard's clock
+// reaches the due slot (the release slot, plus any fault-injected
+// transport delay). Because sim.ShardSet executes (slot, shard) pairs
+// in lexicographic order and shards are registered in the same order
+// the monolithic Step iterates them, completions reach the collector
+// in exactly the dense order — byte-identical results, enforced by the
 // equivalence tests.
-func runSharded(shards []Shard, fleet *vm.Fleet, horizon slot.Time, pol *drainPolicy, fallback func(j *task.Job)) {
+func runSharded(shards []Shard, fleet *vm.Fleet, horizon slot.Time, pol *drainPolicy, fs *faults.Stream, fallback func(j *task.Job)) {
 	set := sim.NewShardSet()
 	route := make(map[string]int, len(shards))
-	bufs := make([]*queue.FIFO[*task.Job], len(shards))
+	bufs := make([]*relBuf, len(shards))
 	for i, sh := range shards {
 		set.Add(sh)
-		bufs[i] = queue.NewFIFO[*task.Job](0)
+		bufs[i] = newRelBuf(fs != nil)
 		for _, d := range sh.Devices() {
 			route[d] = i
 		}
 	}
-	emit := func(j *task.Job) {
+	put := func(due slot.Time, j *task.Job) {
 		if i, ok := route[j.Task.Device]; ok {
-			bufs[i].Push(j)
+			bufs[i].push(due, j)
 			return
 		}
 		// No shard owns the device; hand the job to the monolithic
 		// submission path (which counts the drop, like a dense run).
 		fallback(j)
+	}
+	emit := func(j *task.Job) { put(j.Release, j) }
+	if fs != nil {
+		emit = faultedEmit(fs, put)
 	}
 	feed := func(i int, now slot.Time) {
 		// Materialize every release up to the shard's clock. Releases
@@ -177,17 +253,27 @@ func runSharded(shards []Shard, fleet *vm.Fleet, horizon slot.Time, pol *drainPo
 		}
 		b := bufs[i]
 		for {
-			j, ok := b.Peek()
-			if !ok || j.Release > now {
+			due, j, ok := b.peek()
+			if !ok || due > now {
 				break
 			}
-			b.Pop()
+			b.pop()
 			shards[i].Submit(now, j)
 		}
 	}
 	hz := func(i int, limit slot.Time) slot.Time {
-		if j, ok := bufs[i].Peek(); ok {
-			return j.Release
+		if due, _, ok := bufs[i].peek(); ok {
+			if fs == nil {
+				return due
+			}
+			// Under transport delay, dues are not materialized in due
+			// order: a release the fleet has not yet produced can still
+			// land below the buffered head. The head therefore only
+			// bounds the horizon once the fleet cursor has passed it —
+			// shrink the search limit to the head and keep draining.
+			if due < limit {
+				limit = due
+			}
 		}
 		// Search forward for this shard's next release, materializing
 		// at most the adaptive budget's worth of release slots before
@@ -208,9 +294,14 @@ func runSharded(shards []Shard, fleet *vm.Fleet, horizon slot.Time, pol *drainPo
 				return nr
 			}
 			fleet.Release(nr, emit)
-			if j, ok := bufs[i].Peek(); ok {
-				pol.settle(used)
-				return j.Release
+			if due, _, ok := bufs[i].peek(); ok {
+				if fs == nil {
+					pol.settle(used)
+					return due
+				}
+				if due < limit {
+					limit = due
+				}
 			}
 		}
 	}
@@ -277,7 +368,7 @@ type shardCompletion struct {
 // its own NextWork and its mailbox horizon prove empty, and no feed
 // can target an unexecuted slot because every release below the epoch
 // end is mailboxed before the epoch starts.
-func runShardedParallel(shards []Shard, fleet *vm.Fleet, horizon slot.Time, workers int, col *Collector, fallback func(j *task.Job)) bool {
+func runShardedParallel(shards []Shard, fleet *vm.Fleet, horizon slot.Time, workers int, fs *faults.Stream, col *Collector, fallback func(j *task.Job)) bool {
 	if len(shards) < 2 || workers < 2 {
 		return false
 	}
@@ -291,12 +382,12 @@ func runShardedParallel(shards []Shard, fleet *vm.Fleet, horizon slot.Time, work
 	}
 	set := sim.NewShardSet()
 	route := make(map[string]int, len(shards))
-	bufs := make([]*queue.FIFO[*task.Job], len(shards))
+	bufs := make([]*relBuf, len(shards))
 	comps := make([][]shardCompletion, len(shards))
 	cur := make([]slot.Time, len(shards))
 	for i, sh := range shards {
 		set.Add(sh)
-		bufs[i] = queue.NewFIFO[*task.Job](0)
+		bufs[i] = newRelBuf(fs != nil)
 		for _, d := range sh.Devices() {
 			route[d] = i
 		}
@@ -305,28 +396,39 @@ func runShardedParallel(shards []Shard, fleet *vm.Fleet, horizon slot.Time, work
 			comps[i] = append(comps[i], shardCompletion{j: j, at: at, emitted: cur[i]})
 		})
 	}
-	emit := func(j *task.Job) {
+	put := func(due slot.Time, j *task.Job) {
 		if i, ok := route[j.Task.Device]; ok {
-			bufs[i].Push(j)
+			bufs[i].push(due, j)
 			return
 		}
 		fallback(j)
+	}
+	emit := func(j *task.Job) { put(j.Release, j) }
+	if fs != nil {
+		// The coordinator phase is single-threaded, so fault decisions
+		// (and their counters) happen here, never inside the epoch. A
+		// delayed job whose due lands at or past the epoch end simply
+		// stays mailboxed across barriers: every job with due < end has
+		// release ≤ due < end and is therefore already mailboxed when
+		// the epoch starts — the in-epoch horizon can still trust the
+		// mailbox head.
+		emit = faultedEmit(fs, put)
 	}
 	feed := func(i int, now slot.Time) {
 		cur[i] = now
 		b := bufs[i]
 		for {
-			j, ok := b.Peek()
-			if !ok || j.Release > now {
+			due, j, ok := b.peek()
+			if !ok || due > now {
 				break
 			}
-			b.Pop()
+			b.pop()
 			shards[i].Submit(now, j)
 		}
 	}
 	hz := func(i int, limit slot.Time) slot.Time {
-		if j, ok := bufs[i].Peek(); ok {
-			return j.Release
+		if due, _, ok := bufs[i].peek(); ok {
+			return due
 		}
 		return limit
 	}
@@ -350,7 +452,7 @@ func runShardedParallel(shards []Shard, fleet *vm.Fleet, horizon slot.Time, work
 		if end < horizon {
 			empty := true
 			for _, b := range bufs {
-				if _, ok := b.Peek(); ok {
+				if _, _, ok := b.peek(); ok {
 					empty = false
 					break
 				}

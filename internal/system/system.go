@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ioguard/internal/faults"
 	"ioguard/internal/metrics"
+	"ioguard/internal/queue"
 	"ioguard/internal/rtos"
 	"ioguard/internal/sim"
 	"ioguard/internal/slot"
@@ -72,6 +74,18 @@ type Trial struct {
 	// buffering, never correctness.
 	DrainMin int
 	DrainMax int
+	// Faults configures the deterministic fault-injection layer: release
+	// jitter at the workload layer, drop/duplicate/delay at the
+	// submission boundary. The zero value is a clean run — the fault
+	// path is skipped entirely and output is identical to a build
+	// without the layer. Every decision is a pure per-job hash of
+	// (Faults.Seed, Seed), so faulted runs stay byte-identical at any
+	// -workers / -shard-workers / -dense setting.
+	Faults faults.Plan
+	// Accuracy opts into the timing-accuracy recorder
+	// (max(response − WCET, 0) per completion, TrialResult.Accuracy)
+	// even for clean runs; any enabled fault plan implies it.
+	Accuracy bool
 }
 
 // Builder constructs a system wired to a collector. It receives the
@@ -125,7 +139,17 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 	if err := tr.Tasks.Validate(); err != nil {
 		return nil, err
 	}
+	if err := tr.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	col := NewSeededCollectorFor(tr.Metrics, expectedCompletions(tr.Tasks, tr.Horizon), tr.Seed)
+	if tr.Accuracy || tr.Faults.Enabled() {
+		col.TrackAccuracy()
+	}
+	fs := faults.New(tr.Faults, tr.Seed)
+	if fs != nil {
+		col.SetFaultStream(fs)
+	}
 	sys, err := build(tr, col)
 	if err != nil {
 		return nil, err
@@ -135,11 +159,14 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if fs != nil {
+		fleet.SetReleaseJitter(fs.ReleaseJitter)
+	}
 	if ss, ok := sys.(ShardedSystem); ok && !tr.Dense {
 		if shards := ss.Shards(); len(shards) > 0 {
 			fallback := func(j *task.Job) { sys.Submit(j.Release, j) }
-			if !runShardedParallel(shards, fleet, tr.Horizon, tr.ShardWorkers, col, fallback) {
-				runSharded(shards, fleet, tr.Horizon, newDrainPolicy(tr.DrainMin, tr.DrainMax), fallback)
+			if !runShardedParallel(shards, fleet, tr.Horizon, tr.ShardWorkers, fs, col, fallback) {
+				runSharded(shards, fleet, tr.Horizon, newDrainPolicy(tr.DrainMin, tr.DrainMax), fs, fallback)
 			}
 			res := col.Result(sys, tr.Horizon)
 			res.Released = fleet.Released()
@@ -152,7 +179,50 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 	// allocate on every iteration of the hot loop.
 	var now slot.Time
 	submit := func(j *task.Job) { sys.Submit(now, j) }
+	// Faulted trials wrap the submission boundary: every released job
+	// draws its transport verdict, drops vanish, duplicates follow
+	// their original, and delayed requests park in a due-ordered queue
+	// until their delivery slot. Clean trials never take this branch —
+	// the hot path below is byte-for-byte the historical loop.
+	var delayed *queue.PQ[*task.Job]
+	if fs != nil {
+		delayed = queue.NewPQ[*task.Job](0)
+		submit = func(j *task.Job) {
+			a := fs.Transport(j)
+			if a.Drop {
+				return
+			}
+			due := j.Release + a.Delay
+			if a.Delay > 0 {
+				delayed.Push(due, j)
+			} else {
+				sys.Submit(now, j)
+			}
+			if a.Dup {
+				d := fs.DupJob(j)
+				if a.Delay > 0 {
+					delayed.Push(due, d)
+				} else {
+					sys.Submit(now, d)
+				}
+			}
+		}
+	}
 	for now = 0; now < tr.Horizon; now++ {
+		if delayed != nil {
+			// Deliver delayed requests first: a sharded run's buffers
+			// order same-slot submissions by due then emission, which
+			// puts earlier-released (delayed) jobs ahead of this slot's
+			// fresh releases.
+			for {
+				_, due, dj, ok := delayed.Min()
+				if !ok || due > now {
+					break
+				}
+				delayed.PopMin()
+				sys.Submit(now, dj)
+			}
+		}
 		fleet.Release(now, submit)
 		sys.Step(now)
 		if tr.Dense || q == nil {
@@ -169,6 +239,11 @@ func Run(build Builder, tr Trial) (*metrics.TrialResult, error) {
 		}
 		if nw < next {
 			next = nw
+		}
+		if delayed != nil {
+			if _, due, _, ok := delayed.Min(); ok && due < next {
+				next = due
+			}
 		}
 		if next <= resume {
 			continue

@@ -27,6 +27,14 @@ import (
 	"ioguard/internal/task"
 )
 
+// JitterFunc returns extra release delay (in slots) for the job of t
+// with the given sequence number. It must be a pure function of its
+// arguments: the fleet consults it while materializing releases, and a
+// trial's release schedule has to be identical however the runner
+// interleaves that materialization (see the faults package, whose
+// Stream.ReleaseJitter satisfies this signature).
+type JitterFunc func(t *task.Sporadic, seq int) slot.Time
+
 // Guest is one virtual machine's release engine.
 type Guest struct {
 	id    int
@@ -38,6 +46,9 @@ type Guest struct {
 	// emissions match the task-scan order.
 	heap []int32
 	rng  *rand.Rand
+	// jitter, when set, adds fault-injected delay to each job's
+	// inter-release gap on top of the sporadic model's own bound.
+	jitter JitterFunc
 
 	released int64
 }
@@ -128,6 +139,12 @@ func (g *Guest) Release(now slot.Time, emit func(j *task.Job)) {
 		if spec.Jitter > 0 {
 			gap += slot.Time(g.rng.Int63n(int64(spec.Jitter) + 1))
 		}
+		if g.jitter != nil {
+			// Fault-injected extra delay for the *next* job (the one
+			// whose release this gap determines): keyed by its sequence
+			// number so the draw is independent of materialization order.
+			gap += g.jitter(spec, g.seq[i])
+		}
 		g.next[i] += gap
 		g.siftDown(0)
 		emit(j)
@@ -188,6 +205,17 @@ func NewFleet(vms int, ts task.Set, rng *rand.Rand) (*Fleet, error) {
 
 // Guests returns the fleet's guests in VM order.
 func (f *Fleet) Guests() []*Guest { return f.guests }
+
+// SetReleaseJitter installs a fault-injection jitter source on every
+// guest. Call before the first Release: jitter is materialized into
+// the release heap as gaps are computed, so a late install would leave
+// already-scheduled releases unperturbed. First releases (sequence 0)
+// are drawn uniformly in [0, Period) and are not perturbed further.
+func (f *Fleet) SetReleaseJitter(fn JitterFunc) {
+	for _, g := range f.guests {
+		g.jitter = fn
+	}
+}
 
 // guestBefore orders the fleet's heap by (guest NextRelease, VM ID).
 func (f *Fleet) guestBefore(a, b int32) bool {
